@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows the paper reports (run pytest with ``-s`` to see
+them). Heavy simulations run once per benchmark (pedantic mode) so the
+suite stays minutes-scale.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Benchmark ``fn`` with a single measured round."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    run_cryobus_ablation,
+    run_exposure_sensitivity,
+    run_interleaving_sweep,
+    run_superpipeline_ablation,
+    run_technology_outlook,
+)
+from repro.experiments.robustness import run as run_robustness
+
+
+def test_ablation_superpipeline(benchmark):
+    result = benchmark(run_superpipeline_ablation)
+    print()
+    print(result.to_text())
+    net = {row[0]: row[4] for row in result.rows}
+    assert net["all_frontend"] > 1.2
+    assert net["backend_split (hypothetical)"] < 1.0
+
+
+def test_ablation_cryobus(benchmark):
+    result = run_once(benchmark, run_cryobus_ablation)
+    print()
+    print(result.to_text())
+    rel = {row[1]: row[2] for row in result.rows}
+    assert rel["cooling + topology (CryoBus)"] > rel["cooling only (77 K linear bus)"]
+
+
+def test_ablation_exposure(benchmark):
+    result = run_once(benchmark, run_exposure_sensitivity)
+    print()
+    print(result.to_text())
+    assert all(3.0 < v < 4.5 for v in result.column("combined_vs_300k"))
+
+
+def test_ext_technology_outlook(benchmark):
+    result = benchmark(run_technology_outlook)
+    print()
+    print(result.to_text())
+    speedups = {row[0]: row[2] for row in result.rows}
+    assert speedups["14nm"] < speedups["45nm"]
+
+
+def test_ablation_interleaving(benchmark):
+    result = run_once(benchmark, run_interleaving_sweep)
+    print()
+    print(result.to_text())
+    means = result.column("spec_mean_vs_300k")
+    assert means == sorted(means)  # more ways never hurt
+
+
+def test_robustness_of_headlines(benchmark):
+    result = run_once(benchmark, run_robustness)
+    print()
+    print(result.to_text())
+    assert all(result.column("frontend_critical_at_77k"))

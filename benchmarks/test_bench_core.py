@@ -1,0 +1,18 @@
+"""Benchmark regenerating the CryoSP derivation (Table 3)."""
+
+import pytest
+
+from repro.experiments.table3 import run as run_table3
+
+
+def test_table3_design_chain(benchmark):
+    result = benchmark(run_table3)
+    print()
+    print(result.to_text())
+    assert result.lookup("design", "77K CryoSP", "frequency_ghz") == pytest.approx(
+        7.84, rel=0.05
+    )
+    assert result.lookup("design", "CHP-core", "frequency_ghz") == pytest.approx(
+        6.1, rel=0.05
+    )
+    assert result.lookup("design", "77K CryoSP", "total_power_rel") <= 1.0

@@ -1,0 +1,69 @@
+"""Benchmarks regenerating the NoC figures (Figs. 16, 18, 20, 21, 25, 26)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig16 import run as run_fig16
+from repro.experiments.fig18 import run as run_fig18
+from repro.experiments.fig20 import run as run_fig20
+from repro.experiments.fig21 import run as run_fig21
+from repro.experiments.fig25 import run as run_fig25
+from repro.experiments.fig26 import run as run_fig26
+
+
+def test_fig16_l3_latency_breakdown(benchmark):
+    result = benchmark(run_fig16)
+    print()
+    print(result.to_text())
+    mesh77 = [r for r in result.rows if r[0] == "mesh" and r[1] == 77.0][0]
+    assert mesh77[5] == pytest.approx(0.717, abs=0.08)
+
+
+def test_fig18_bus_load_latency(benchmark):
+    result = run_once(benchmark, run_fig18, n_cycles=6000)
+    print()
+    print(result.to_text())
+    saturated_300k = [r[1] for r in result.rows if r[0] == "bus_300K" and r[3]]
+    assert saturated_300k, "the 300 K bus must saturate inside the sweep"
+
+
+def test_fig20_bus_latency_breakdown(benchmark):
+    result = benchmark(run_fig20)
+    print()
+    print(result.to_text())
+    winners = [row[0] for row in result.rows if row[8]]
+    assert winners == ["cryobus"]
+
+
+def test_fig21_load_latency_uniform(benchmark):
+    result = run_once(benchmark, run_fig21, n_cycles=4000)
+    print()
+    print(result.to_text())
+    cryobus = [r for r in result.rows if r[0] == "cryobus"]
+    assert cryobus[0][2] == pytest.approx(4.0, abs=1.0)
+
+
+def test_fig25_adversarial_patterns(benchmark):
+    result = run_once(
+        benchmark, run_fig25, n_cycles=3000, rates=(0.001, 0.003, 0.006)
+    )
+    print()
+    print(result.to_text())
+    # CryoBus latency must stay pattern-insensitive at low load.
+    lows = [
+        r[3]
+        for r in result.rows
+        if r[1] == "cryobus" and r[2] == 0.001
+    ]
+    assert max(lows) - min(lows) < 2.0
+
+
+def test_fig26_256_core_scaling(benchmark):
+    result = benchmark(run_fig26)
+    print()
+    print(result.to_text())
+    first_rate = min(r[1] for r in result.rows)
+    at_zero = {r[0]: r[2] for r in result.rows if r[1] == first_rate}
+    for name, latency in at_zero.items():
+        if not name.startswith("hybrid"):
+            assert at_zero["hybrid_cryobus"] < latency

@@ -1,0 +1,35 @@
+"""Benchmarks regenerating the pipeline figures (Figs. 2, 12-14, Table 1)."""
+
+import pytest
+
+from repro.experiments.fig02 import run as run_fig02
+from repro.experiments.fig12_14 import run as run_fig12_14
+from repro.experiments.table1 import run as run_table1
+
+
+def test_fig2_critical_path_breakdown(benchmark):
+    result = benchmark(run_fig02)
+    print()
+    print(result.to_text())
+    assert result.lookup("stage", "mean", "wire_fraction") == pytest.approx(
+        0.576, abs=0.04
+    )
+
+
+def test_fig12_fig13_fig14_stage_delays(benchmark):
+    result = benchmark(run_fig12_14)
+    print()
+    print(result.to_text())
+    cold = [r[5] for r in result.rows if r[0] == "fig13_77K"]
+    superpipelined = [r[5] for r in result.rows if r[0] == "fig14_superpipelined_77K"]
+    assert 1 - max(cold) == pytest.approx(0.19, abs=0.03)
+    assert 1 - max(superpipelined) == pytest.approx(0.38, abs=0.04)
+
+
+def test_table1_geometry(benchmark):
+    result = benchmark(run_table1)
+    print()
+    print(result.to_text())
+    assert result.lookup("item", "forwarding_wire_8wide", "height_um") == (
+        pytest.approx(1686.0, abs=10.0)
+    )

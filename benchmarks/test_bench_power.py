@@ -1,0 +1,24 @@
+"""Benchmarks regenerating the power figures (Figs. 22, 27)."""
+
+import pytest
+
+from repro.experiments.fig22 import run as run_fig22
+from repro.experiments.fig27 import run as run_fig27
+
+
+def test_fig22_noc_power(benchmark):
+    result = benchmark(run_fig22)
+    print()
+    print(result.to_text())
+    assert result.lookup("design", "cryobus", "total") == pytest.approx(
+        0.428, abs=0.05
+    )
+
+
+def test_fig27_temperature_sweep(benchmark):
+    result = benchmark(run_fig27)
+    print()
+    print(result.to_text())
+    at_100 = result.lookup("temperature_k", 100.0, "perf_per_power")
+    at_77 = result.lookup("temperature_k", 77.0, "perf_per_power")
+    assert at_100 > at_77 > result.lookup("temperature_k", 300.0, "perf_per_power")

@@ -1,0 +1,46 @@
+"""Benchmarks regenerating the system-level results (Figs. 3, 17, 23, 24)."""
+
+import pytest
+
+from repro.experiments.fig03 import run as run_fig03
+from repro.experiments.fig17 import run as run_fig17
+from repro.experiments.fig23 import run as run_fig23
+from repro.experiments.fig24 import run as run_fig24
+
+
+def test_fig3_cpi_stacks(benchmark):
+    result = benchmark(run_fig03)
+    print()
+    print(result.to_text())
+    assert result.lookup("workload", "mean", "noc_plus_sync") == pytest.approx(
+        0.456, abs=0.08
+    )
+
+
+def test_fig17_noc_cost_at_77k(benchmark):
+    result = benchmark(run_fig17)
+    print()
+    print(result.to_text())
+    mesh = result.lookup("workload", "mean", "mesh_77k")
+    bus = result.lookup("workload", "mean", "shared_bus_77k")
+    assert mesh == pytest.approx(0.567, abs=0.06)
+    assert bus > mesh
+
+
+def test_fig23_parsec_performance(benchmark):
+    result = benchmark(run_fig23)
+    print()
+    print(result.to_text())
+    mean = result.lookup("workload", "mean", "CryoSP (77K, CryoBus)")
+    baseline = result.lookup("workload", "mean", "Baseline (300K, Mesh)")
+    assert mean == pytest.approx(2.53, abs=0.45)
+    assert mean / baseline == pytest.approx(3.82, abs=0.6)
+
+
+def test_fig24_spec_prefetcher_stress(benchmark):
+    result = benchmark(run_fig24)
+    print()
+    print(result.to_text())
+    mean_1way = result.lookup("workload", "mean", "CryoSP (77K, CryoBus)")
+    mean_2way = result.lookup("workload", "mean", "CryoSP (77K, CryoBus, 2-way)")
+    assert mean_2way >= mean_1way

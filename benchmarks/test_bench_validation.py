@@ -1,0 +1,19 @@
+"""Benchmarks regenerating the validation figures (Figs. 9, 10)."""
+
+from repro.experiments.fig09 import run as run_fig09
+from repro.experiments.fig10 import run as run_fig10
+
+
+def test_fig9_pipeline_and_router_validation(benchmark):
+    result = benchmark(run_fig09)
+    print()
+    print(result.to_text())
+    for error in result.column("error"):
+        assert error < 0.06
+
+
+def test_fig10_wire_link_validation(benchmark):
+    result = benchmark(run_fig10)
+    print()
+    print(result.to_text())
+    assert result.rows[0][3] < 0.05  # model-vs-circuit error

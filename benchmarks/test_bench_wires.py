@@ -1,0 +1,14 @@
+"""Benchmarks regenerating the wire-level figures (Fig. 5)."""
+
+from repro.experiments.fig05 import run as run_fig05
+
+
+def test_fig5_wire_speedups(benchmark):
+    """Fig. 5: 77 K wire speed-up vs length, unrepeated and repeated."""
+    result = benchmark(run_fig05)
+    print()
+    print(result.to_text())
+    local_max = max(r[2] for r in result.rows if r[0] == "local_unrepeated")
+    semi_max = max(r[2] for r in result.rows if r[0] == "semi_global_unrepeated")
+    assert 2.6 < local_max <= 2.96
+    assert 3.3 < semi_max <= 3.70

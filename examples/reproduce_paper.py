@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Equivalent to ``cryowire all`` but importable; prints each experiment's
+rows and a compact paper-vs-measured summary at the end.
+
+Run:  python examples/reproduce_paper.py            # everything
+      python examples/reproduce_paper.py fig23 fig22  # a subset
+"""
+
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv) -> int:
+    requested = argv or sorted(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}")
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}")
+        return 1
+
+    summary = []
+    for experiment_id in requested:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")
+        summary.append((experiment_id, len(result.rows), elapsed))
+
+    print("== summary ==")
+    for experiment_id, n_rows, elapsed in summary:
+        print(f"{experiment_id:10s} {n_rows:4d} rows  {elapsed:6.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

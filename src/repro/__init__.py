@@ -1,0 +1,85 @@
+"""CryoWire reproduction: wire-driven microarchitecture models for cryogenic computing.
+
+This package reproduces the systems and experiments of
+
+    Min, Chung, Byun, Kim and Kim,
+    "CryoWire: Wire-Driven Microarchitecture Designs for Cryogenic Computing",
+    ASPLOS 2022.
+
+Subpackages
+-----------
+``repro.tech``
+    Cryogenic device substrate: wire resistivity vs. temperature, metal
+    stack geometry, the cryo-MOSFET drive/leakage model and repeater
+    insertion (the CC-Model device layer).
+``repro.circuits``
+    Distributed-RC circuit solver used as the in-repo stand-in for Hspice.
+``repro.pipeline``
+    Stage-wise critical-path model of a BOOM/Skylake-class pipeline with a
+    floorplan-driven inter-unit wire model.
+``repro.core``
+    The paper's first contribution: the frontend superpipelining
+    methodology and the CryoSP design-derivation chain (Table 3).
+``repro.noc``
+    The paper's second contribution plus its substrate: NoC topologies,
+    a cycle-accurate flit simulator, the CryoBus H-tree bus with dynamic
+    link connection, analytic latency models and the wire-link optimiser.
+``repro.memory``
+    Cache/DRAM latency models and coherence protocol engines.
+``repro.power``
+    Core (McPAT-like) and NoC (Orion-like) power models plus cryogenic
+    cooling cost.
+``repro.system``
+    Analytic multicore system simulator (CPI stacks, execution time).
+``repro.workloads``
+    PARSEC / SPEC / CloudSuite workload profiles and trace synthesis.
+``repro.validation``
+    Synthetic measurement rigs and model-vs-measurement validation.
+``repro.experiments``
+    One module per paper figure/table; each returns structured results.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+#: Re-exported names -> defining module. Resolved lazily so that light
+#: users (and partial builds) do not pay for the whole dependency tree.
+_EXPORTS = {
+    "CryoMOSFET": "repro.tech",
+    "CryoWireModel": "repro.tech",
+    "MetalLayer": "repro.tech",
+    "WireTechnology": "repro.tech",
+    "PipelineModel": "repro.pipeline",
+    "StageDelay": "repro.pipeline",
+    "CryoSPDesigner": "repro.core",
+    "SuperpipelineTransform": "repro.core",
+    "NocSimulator": "repro.noc",
+    "Topology": "repro.noc",
+    "MulticoreSystem": "repro.system",
+    "SystemConfig": "repro.system",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
+    from repro.core import CryoSPDesigner, SuperpipelineTransform
+    from repro.noc import NocSimulator, Topology
+    from repro.pipeline import PipelineModel, StageDelay
+    from repro.system import MulticoreSystem, SystemConfig
+    from repro.tech import CryoMOSFET, CryoWireModel, MetalLayer, WireTechnology

@@ -1,0 +1,67 @@
+"""Elmore delay of RC ladders (first-moment analytical reference).
+
+Used both as a cross-check for the transient solver and as the fast path
+when only a delay estimate (not a waveform) is needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Conversion from the Elmore first moment (sum of R*C products, in
+#: ohm*farad == seconds) to the 50% step-response delay of an RC network.
+ELMORE_TO_T50 = 0.69
+
+
+def ladder_sections(
+    total_r_ohm: float, total_c_f: float, n_sections: int
+) -> List[Tuple[float, float]]:
+    """Discretise a distributed wire into ``n_sections`` RC pi-ish sections.
+
+    Each section is (series resistance, shunt capacitance); the lumped
+    approximation converges to the distributed line as ``n_sections``
+    grows.
+    """
+    if n_sections < 1:
+        raise ValueError("need at least one section")
+    if total_r_ohm < 0 or total_c_f < 0:
+        raise ValueError("R and C must be non-negative")
+    r = total_r_ohm / n_sections
+    c = total_c_f / n_sections
+    return [(r, c) for _ in range(n_sections)]
+
+
+def elmore_delay_ladder(
+    driver_r_ohm: float,
+    sections: Sequence[Tuple[float, float]],
+    load_c_f: float = 0.0,
+) -> float:
+    """Elmore delay (seconds) from an ideal step through ``driver_r_ohm``.
+
+    The Elmore delay to the far end of a ladder is
+
+        sum_i [ C_i * (R_drv + sum of series R up to node i) ]
+        + C_load * (R_drv + total series R)
+
+    This is the first moment of the impulse response; multiply by
+    :data:`ELMORE_TO_T50` to estimate the 50 % crossing of the step
+    response.
+    """
+    if driver_r_ohm < 0:
+        raise ValueError("driver resistance must be non-negative")
+    upstream_r = driver_r_ohm
+    delay = 0.0
+    for series_r, shunt_c in sections:
+        upstream_r += series_r
+        delay += shunt_c * upstream_r
+    delay += load_c_f * upstream_r
+    return delay
+
+
+def elmore_t50_ladder(
+    driver_r_ohm: float,
+    sections: Sequence[Tuple[float, float]],
+    load_c_f: float = 0.0,
+) -> float:
+    """Estimated 50 % crossing time (seconds) via the Elmore moment."""
+    return ELMORE_TO_T50 * elmore_delay_ladder(driver_r_ohm, sections, load_c_f)

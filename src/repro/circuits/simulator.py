@@ -1,0 +1,152 @@
+"""Circuit-level wire simulation at temperature (the Fig. 10 methodology).
+
+:class:`CircuitSimulator` builds RC ladders straight from the metal-layer
+geometry and the temperature-dependent resistivity model, solves them
+exactly, and reports delays. Repeated wires are simulated as a cascade of
+independently solved segments plus the repeaters' intrinsic switching
+delay -- the same treatment the paper's Hspice decks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.rc_line import RCLadder
+from repro.tech.constants import T_ROOM
+from repro.tech.metal import FREEPDK45_STACK, WireTechnology
+from repro.tech.mosfet import CryoMOSFET, INDUSTRY_2Z_CARD, MOSFETCard
+from repro.tech.repeater import (
+    DRIVER_CG_FF,
+    DRIVER_CP_FF,
+    DRIVER_R0_OHM,
+    RepeaterDesign,
+)
+
+#: Default spatial discretisation of a wire segment.
+DEFAULT_SECTIONS = 40
+
+
+@dataclass(frozen=True)
+class WireSimResult:
+    """Outcome of a circuit-level wire simulation."""
+
+    layer_name: str
+    length_um: float
+    temperature_k: float
+    n_repeaters: int
+    delay_ns: float
+
+
+class CircuitSimulator:
+    """Transient simulation of (optionally repeated) on-chip wires."""
+
+    def __init__(
+        self,
+        stack: WireTechnology = FREEPDK45_STACK,
+        driver_card: MOSFETCard = INDUSTRY_2Z_CARD,
+        *,
+        driver_r0_ohm: float = DRIVER_R0_OHM,
+        driver_cg_ff: float = DRIVER_CG_FF,
+        driver_cp_ff: float = DRIVER_CP_FF,
+        n_sections: int = DEFAULT_SECTIONS,
+    ):
+        if n_sections < 4:
+            raise ValueError("n_sections too small for a distributed line")
+        self.stack = stack
+        self.driver = CryoMOSFET(driver_card)
+        self.driver_r0_ohm = driver_r0_ohm
+        self.driver_cg_ff = driver_cg_ff
+        self.driver_cp_ff = driver_cp_ff
+        self.n_sections = n_sections
+
+    def _wire_rc(
+        self, layer_name: str, length_um: float, temperature_k: float
+    ) -> tuple[float, float]:
+        layer = self.stack.layer(layer_name)
+        total_r = layer.resistance_per_um(temperature_k) * length_um
+        total_c = layer.capacitance_f_per_um * length_um * 1e-15  # F
+        return total_r, total_c
+
+    def simulate_driven_wire(
+        self,
+        layer_name: str,
+        length_um: float,
+        temperature_k: float = T_ROOM,
+        *,
+        driver_r_ohm: float,
+        load_c_f: float = 0.0,
+    ) -> float:
+        """t50 (ns) of one wire driven through ``driver_r_ohm``."""
+        if length_um <= 0:
+            raise ValueError("length must be positive")
+        total_r, total_c = self._wire_rc(layer_name, length_um, temperature_k)
+        n = self.n_sections
+        sections = [(total_r / n, total_c / n)] * n
+        ladder = RCLadder(driver_r_ohm, sections, load_c_f)
+        return ladder.crossing_time(0.5) * 1e9
+
+    def simulate_repeated_wire(
+        self,
+        layer_name: str,
+        length_um: float,
+        n_repeaters: int,
+        repeater_size: float,
+        temperature_k: float = T_ROOM,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> WireSimResult:
+        """Simulate a wire split into ``n_repeaters`` buffered segments.
+
+        Each segment's ladder is solved exactly; the total adds the
+        repeaters' intrinsic self-load switching delay (0.69 * R0 * Cp,
+        size-independent).
+        """
+        if n_repeaters < 1:
+            raise ValueError("need at least the source driver")
+        delay_factor = self.driver.gate_delay_factor(temperature_k, vdd_v, vth_v)
+        r_unit = self.driver_r0_ohm * delay_factor
+        r_drv = r_unit / repeater_size
+        # The segment load: next repeater's input gate (final segment uses
+        # the same receiver size, matching the analytical model).
+        load_c = repeater_size * self.driver_cg_ff * 1e-15
+        seg_len = length_um / n_repeaters
+        seg_delay = self.simulate_driven_wire(
+            layer_name,
+            seg_len,
+            temperature_k,
+            driver_r_ohm=r_drv,
+            load_c_f=load_c,
+        )
+        intrinsic_ns = 0.69 * r_unit * self.driver_cp_ff * 1e-6  # ohm*fF -> ns
+        total = n_repeaters * (seg_delay + intrinsic_ns)
+        return WireSimResult(
+            layer_name=layer_name,
+            length_um=length_um,
+            temperature_k=temperature_k,
+            n_repeaters=n_repeaters,
+            delay_ns=total,
+        )
+
+    def simulate_design(
+        self,
+        design: RepeaterDesign,
+        temperature_k: Optional[float] = None,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> WireSimResult:
+        """Re-simulate a :class:`RepeaterDesign` at circuit level.
+
+        This is the validation path (Fig. 10): the analytical optimiser
+        proposes a design, and the transient solver measures it.
+        """
+        temp = design.temperature_k if temperature_k is None else temperature_k
+        return self.simulate_repeated_wire(
+            design.layer_name,
+            design.length_um,
+            design.n_repeaters,
+            design.repeater_size,
+            temp,
+            vdd_v,
+            vth_v,
+        )

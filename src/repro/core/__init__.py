@@ -1,0 +1,32 @@
+"""The paper's first contribution: wire-driven pipeline design at 77 K.
+
+* :mod:`repro.core.superpipeline` -- the Section 4.4 methodology: pick the
+  slowest un-pipelinable backend stage as the target latency, then split
+  every pipelinable frontend stage that exceeds it.
+* :mod:`repro.core.ipc` -- analytic core-IPC model pricing the extra
+  stages (deeper restart penalty) and the CryoCore sizing.
+* :mod:`repro.core.voltage` -- V_dd/V_th optimisation under a total-power
+  envelope (the 'same method applied to CHP-core').
+* :mod:`repro.core.cryosp` -- the full Table 3 derivation chain:
+  300 K baseline -> 77 K superpipeline -> + CryoCore sizing -> CryoSP.
+"""
+
+from repro.core.ipc import IPCModel
+from repro.core.ooosim import OooCoreSimulator, OooResult, SyntheticInstructionStream
+from repro.core.superpipeline import SuperpipelinePlan, SuperpipelineTransform
+from repro.core.voltage import VoltageOptimizer, VoltageSearchResult
+from repro.core.cryosp import CoreDesign, CryoSPDesigner, Table3
+
+__all__ = [
+    "IPCModel",
+    "OooCoreSimulator",
+    "OooResult",
+    "SyntheticInstructionStream",
+    "SuperpipelinePlan",
+    "SuperpipelineTransform",
+    "VoltageOptimizer",
+    "VoltageSearchResult",
+    "CoreDesign",
+    "CryoSPDesigner",
+    "Table3",
+]

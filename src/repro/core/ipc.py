@@ -1,0 +1,85 @@
+"""Analytic core-IPC model (prices depth and sizing decisions).
+
+The design chain of Table 3 trades structure for frequency twice: the
+superpipelined frontend adds three stages (deeper restart penalty) and
+the CryoCore sizing halves the issue width and shrinks the window. This
+model prices both effects per workload:
+
+    CPI_core = base_cpi / (width_factor * window_factor)   -- issue
+             + restarts_pki/1000 * restart_penalty(depth)  -- frontend
+             + l1d_mpki/1000 * L1_MISS_PENALTY             -- private L2
+
+The constants are calibrated so the PARSEC-average relative IPC matches
+Table 3: superpipelining costs 4.2 % at iso-frequency, the CHP-core
+sizing costs ~7 %, and their combination lands at 0.90. The metric is
+*core* IPC (private caches only); the shared L3 / NoC / DRAM terms are
+added by :mod:`repro.system`, which owns the full CPI stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.pipeline.config import CoreConfig
+from repro.workloads.profiles import PARSEC_2_1, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class IPCModel:
+    """Analytic CPI model of the out-of-order core."""
+
+    #: Cycles lost per pipeline restart, per stage of depth. A restart
+    #: costs roughly 1.6x the depth: refetch plus scheduler refill.
+    restart_depth_factor: float = 1.6
+    #: base_cpi grows as (ref_width / width) ** width_exponent.
+    width_exponent: float = 0.045
+    #: base_cpi grows as (ref_rob / rob) ** window_exponent.
+    window_exponent: float = 0.09
+    #: L1D miss penalty (cycles at 4 GHz) -- a private L2 hit.
+    l1_miss_penalty_cycles: float = 12.0
+
+    def issue_cpi(self, config: CoreConfig, profile: WorkloadProfile) -> float:
+        """ILP-limited CPI, inflated by narrow issue and small windows."""
+        width_factor = config.width_ratio**self.width_exponent
+        window_factor = (config.rob_size / CoreConfig.REF_ROB) ** self.window_exponent
+        return profile.base_cpi / (width_factor * window_factor)
+
+    def restart_penalty_cycles(self, config: CoreConfig) -> float:
+        """Cycles lost per pipeline restart (depth-proportional)."""
+        return self.restart_depth_factor * config.pipeline_depth
+
+    def restart_cpi(self, config: CoreConfig, profile: WorkloadProfile) -> float:
+        return profile.restarts_pki / 1000.0 * self.restart_penalty_cycles(config)
+
+    def private_memory_cpi(self, profile: WorkloadProfile) -> float:
+        return profile.l1d_mpki / 1000.0 * self.l1_miss_penalty_cycles
+
+    def core_cpi(self, config: CoreConfig, profile: WorkloadProfile) -> float:
+        """Core CPI with private caches (no shared L3 / NoC / DRAM)."""
+        return (
+            self.issue_cpi(config, profile)
+            + self.restart_cpi(config, profile)
+            + self.private_memory_cpi(profile)
+        )
+
+    def core_ipc(self, config: CoreConfig, profile: WorkloadProfile) -> float:
+        return 1.0 / self.core_cpi(config, profile)
+
+    def mean_relative_ipc(
+        self,
+        config: CoreConfig,
+        baseline: CoreConfig,
+        profiles: Sequence[WorkloadProfile] = PARSEC_2_1,
+    ) -> float:
+        """Workload-averaged IPC of ``config`` relative to ``baseline``.
+
+        This is the Table 3 'IPC (@4GHz)' column: both cores are priced
+        at the same frequency, isolating the microarchitectural cost.
+        """
+        if not profiles:
+            raise ValueError("need at least one workload profile")
+        ratios = [
+            self.core_ipc(config, p) / self.core_ipc(baseline, p) for p in profiles
+        ]
+        return sum(ratios) / len(ratios)

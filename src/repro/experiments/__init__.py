@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every module exposes ``run(**kwargs) -> ExperimentResult``; the registry
+maps experiment ids (``fig23``, ``table3``, ...) to those callables and
+the CLI (``cryowire``) prints the same rows/series the paper reports.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,95 @@
+"""Common result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results plus the paper values it reproduces.
+
+    ``rows`` carry the regenerated data; ``paper_reference`` records the
+    values the paper reports for the same quantity (where it reports
+    any), so EXPERIMENTS.md can be generated straight from results.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    paper_reference: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row width {len(cells)} != "
+                f"{len(self.headers)} headers"
+            )
+        self.rows.append(tuple(cells))
+
+    def column(self, header: str) -> List:
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise KeyError(
+                f"{self.experiment_id}: no column {header!r}; "
+                f"have {self.headers}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, header: str, value) -> Tuple:
+        idx = self.headers.index(header)
+        for row in self.rows:
+            if row[idx] == value:
+                return row
+        raise KeyError(f"{self.experiment_id}: no row with {header}={value!r}")
+
+    def lookup(self, key_header: str, key, value_header: str):
+        """Single-cell lookup: the ``value_header`` of the row keyed by
+        ``key_header == key``."""
+        row = self.row_by(key_header, key)
+        return row[self.headers.index(value_header)]
+
+    def to_json(self) -> str:
+        """Serialise to JSON (for plotting scripts and downstream use)."""
+        import json
+
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(row) for row in self.rows],
+                "paper_reference": self.paper_reference,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def to_csv(self) -> str:
+        """Serialise the table to CSV (header row first)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_text(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        if self.paper_reference:
+            refs = ", ".join(
+                f"{name}={value:g}" for name, value in sorted(self.paper_reference.items())
+            )
+            lines.append(f"paper reference: {refs}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)

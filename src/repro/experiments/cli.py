@@ -1,0 +1,56 @@
+"""``cryowire`` command-line interface.
+
+Usage::
+
+    cryowire list                 # enumerate experiments
+    cryowire run fig23            # run one experiment, print its table
+    cryowire report               # paper-vs-measured summary
+    cryowire all                  # run everything (slow ones included)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cryowire",
+        description="Regenerate the CryoWire paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("report", help="paper-vs-measured summary of every anchor")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        print(run_experiment(args.experiment).to_text())
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import main as report_main
+
+        print(report_main())
+        return 0
+    # all
+    for experiment_id in sorted(EXPERIMENTS):
+        print(run_experiment(experiment_id).to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Fig. 21: load-latency of all fabrics at 77 K (uniform random).
+
+Router-based NoCs are shown with both the conservative 1-cycle and the
+realistic 3-cycle router; CryoBus reaches a far lower zero-load latency
+while tolerating contention comparably to CMesh / FB with 3-cycle
+routers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.noc.bus import CryoBusDesign, SharedBusDesign
+from repro.noc.link import WireLinkModel
+from repro.noc.simulator import NocSimulator
+from repro.noc.topology import CMesh, FlattenedButterfly, Mesh
+from repro.noc.traffic import make_pattern
+from repro.tech.constants import T_LN2
+
+DEFAULT_RATES = (0.001, 0.002, 0.004, 0.006, 0.008, 0.012)
+
+
+def run(
+    rates: Sequence[float] = DEFAULT_RATES,
+    n_cycles: int = 5000,
+    pattern_name: str = "uniform",
+    include_routers: Optional[Sequence[int]] = (1, 3),
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig21",
+        title=f"Load-latency at 77 K, {pattern_name} traffic",
+        headers=("series", "rate_per_node", "latency_cycles", "saturated"),
+        paper_reference={"cryobus_zero_load_cycles": 4},
+    )
+    links = WireLinkModel()
+    hpc = links.hops_per_cycle(T_LN2)
+    sim = NocSimulator(n_cycles=n_cycles)
+    pattern = make_pattern(pattern_name, 64)
+
+    for router_cycles in include_routers or ():
+        for topo in (Mesh(64), CMesh(64), FlattenedButterfly(64)):
+            label = f"{topo.name}_{router_cycles}cyc"
+            for rate in rates:
+                point = sim.simulate_router_network(
+                    topo, pattern, rate,
+                    router_cycles=router_cycles, hops_per_cycle=hpc,
+                )
+                result.add_row(
+                    label, rate, min(point.mean_latency_cycles, 1e6), point.saturated
+                )
+
+    for label, bus in (
+        ("shared_bus_77K", SharedBusDesign(64)),
+        ("cryobus", CryoBusDesign(64)),
+        ("cryobus_2way", CryoBusDesign(64, interleave_ways=2)),
+    ):
+        for rate in rates:
+            point = sim.simulate_bus(bus, pattern, rate, hops_per_cycle=hpc)
+            result.add_row(
+                label, rate, min(point.mean_latency_cycles, 1e6), point.saturated
+            )
+    return result

@@ -1,0 +1,75 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    robustness,
+    fig02,
+    fig03,
+    fig05,
+    fig09,
+    fig10,
+    fig12_14,
+    fig16,
+    fig17,
+    fig18,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    fig24,
+    fig25,
+    fig26,
+    fig27,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig05": fig05.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig12_14": fig12_14.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig20": fig20.run,
+    "fig21": fig21.run,
+    "fig22": fig22.run,
+    "fig23": fig23.run,
+    "fig24": fig24.run,
+    "fig25": fig25.run,
+    "fig26": fig26.run,
+    "fig27": fig27.run,
+    "table1": table1.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    # Ablation / extension studies (not paper artefacts; see DESIGN.md).
+    "ablation_superpipeline": ablations.run_superpipeline_ablation,
+    "ablation_cryobus": ablations.run_cryobus_ablation,
+    "ablation_exposure": ablations.run_exposure_sensitivity,
+    "ablation_interleaving": ablations.run_interleaving_sweep,
+    "ext_nodes": ablations.run_technology_outlook,
+    "robustness": robustness.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,41 @@
+"""Memory substrate: caches, DRAM, coherence protocols, and the hierarchy.
+
+Latency parameters follow Table 4: the 77 K memory system ("CryoCache"
+SRAM caches and CLL-DRAM) is twice as fast on cache accesses and 3.8x
+faster on DRAM than its 300 K counterpart. The coherence engines provide
+both functional correctness (for the protocol property tests) and the
+traversal-count accounting that prices directory indirection against
+snooping broadcasts in the system model.
+"""
+
+from repro.memory.cache import CacheDesign, FunctionalCache, MEMORY_300K, MEMORY_77K
+from repro.memory.cacti import CacheTiming, CactiModel
+from repro.memory.cll_dram import CllDramModel, DramTiming
+from repro.memory.dram import DramDesign, DRAM_300K, DRAM_77K
+from repro.memory.coherence import (
+    CoherenceProtocol,
+    DirectoryProtocol,
+    ProtocolStats,
+    SnoopingProtocol,
+)
+from repro.memory.hierarchy import L3AccessBreakdown, MemoryHierarchy
+
+__all__ = [
+    "CacheDesign",
+    "CactiModel",
+    "CacheTiming",
+    "CllDramModel",
+    "DramTiming",
+    "FunctionalCache",
+    "MEMORY_300K",
+    "MEMORY_77K",
+    "DramDesign",
+    "DRAM_300K",
+    "DRAM_77K",
+    "CoherenceProtocol",
+    "DirectoryProtocol",
+    "SnoopingProtocol",
+    "ProtocolStats",
+    "MemoryHierarchy",
+    "L3AccessBreakdown",
+]

@@ -1,0 +1,279 @@
+"""Functional cache-coherence engines: directory MESI vs. snooping.
+
+Table 4's two NoC families imply two protocols: the meshes run a
+directory protocol (L3 slices keep directory state), CryoBus runs a
+snooping protocol. These engines execute real read/write streams over
+per-core functional caches, maintain protocol state, and count the
+messages each operation needed -- the traversal counts the system model
+prices with NoC latencies.
+
+The tests lean on two classic invariants the engines must uphold under
+arbitrary request interleavings:
+
+* **single-writer / multiple-reader**: a line is Modified in at most one
+  cache, and never Modified and Shared simultaneously;
+* **data-value**: a read always observes the most recent write (modelled
+  with version counters rather than full data).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.memory.cache import FunctionalCache
+
+MODIFIED = "M"
+SHARED = "S"
+
+
+@dataclass
+class ProtocolStats:
+    """Message and event counters accumulated over a request stream."""
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: One-way NoC traversals (directory) or bus transactions (snoop).
+    traversals: int = 0
+    invalidations: int = 0
+    cache_to_cache: int = 0
+    dram_fetches: int = 0
+    writebacks: int = 0
+
+    def merge(self, other: "ProtocolStats") -> None:
+        for name in vars(self):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class _Line:
+    """Private-cache line payload: protocol state + observed version."""
+
+    state: str
+    version: int
+
+
+class CoherenceProtocol(ABC):
+    """Common machinery of both protocol engines."""
+
+    def __init__(self, n_cores: int, cache_kb: int = 32):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self.caches = [FunctionalCache(cache_kb) for _ in range(n_cores)]
+        self.stats = ProtocolStats()
+        #: Authoritative version per line (memory + dirty copies).
+        self._versions: Dict[int, int] = {}
+
+    # -- version bookkeeping (the data-value invariant) -----------------
+    def _current_version(self, address: int) -> int:
+        return self._versions.get(self._line_of(address), 0)
+
+    def _bump_version(self, address: int) -> int:
+        line = self._line_of(address)
+        self._versions[line] = self._versions.get(line, 0) + 1
+        return self._versions[line]
+
+    @staticmethod
+    def _line_of(address: int) -> int:
+        return address // FunctionalCache.LINE_BYTES
+
+    # -- abstract operations --------------------------------------------
+    @abstractmethod
+    def read(self, core: int, address: int) -> int:
+        """Perform a load; returns the observed version."""
+
+    @abstractmethod
+    def write(self, core: int, address: int) -> int:
+        """Perform a store; returns the new version."""
+
+    # -- invariants ------------------------------------------------------
+    def holders(self, address: int) -> Dict[int, str]:
+        """Cores caching the line, with their protocol states."""
+        found = {}
+        for core, cache in enumerate(self.caches):
+            payload = cache.lookup(address)
+            if payload is not None:
+                found[core] = payload.state
+        return found
+
+    def check_invariants(self, address: int) -> None:
+        """Raise AssertionError if SWMR is violated for this line."""
+        holders = self.holders(address)
+        modified = [c for c, s in holders.items() if s == MODIFIED]
+        shared = [c for c, s in holders.items() if s == SHARED]
+        if len(modified) > 1:
+            raise AssertionError(f"line {address:#x}: two writers {modified}")
+        if modified and shared:
+            raise AssertionError(
+                f"line {address:#x}: writer {modified} coexists with readers {shared}"
+            )
+
+    def _validate(self, core: int, address: int) -> None:
+        if not (0 <= core < self.n_cores):
+            raise ValueError(f"core {core} out of range")
+        if address < 0:
+            raise ValueError("address must be non-negative")
+
+
+class DirectoryProtocol(CoherenceProtocol):
+    """MESI-style directory protocol (the mesh configurations).
+
+    The home L3 slice tracks owner/sharers. Misses pay the directory
+    indirection: requestor -> home (1 traversal), possibly home -> owner
+    (forward) and owner -> requestor (data), or home -> requestor.
+    """
+
+    def __init__(self, n_cores: int, cache_kb: int = 32):
+        super().__init__(n_cores, cache_kb)
+        self._owner: Dict[int, Optional[int]] = {}
+        self._sharers: Dict[int, Set[int]] = {}
+
+    def _dir_entry(self, address: int) -> tuple[Optional[int], Set[int]]:
+        line = self._line_of(address)
+        return self._owner.get(line), self._sharers.setdefault(line, set())
+
+    def _evict(self, core: int, victim_address: int, payload: _Line) -> None:
+        line = self._line_of(victim_address)
+        if payload.state == MODIFIED:
+            self.stats.writebacks += 1
+            self.stats.traversals += 1  # writeback to home
+            if self._owner.get(line) == core:
+                self._owner[line] = None
+        self._sharers.setdefault(line, set()).discard(core)
+
+    def _install(self, core: int, address: int, state: str, version: int) -> None:
+        victim = self.caches[core].insert(address, _Line(state, version))
+        if victim is not None:
+            self._evict(core, victim[0], victim[1])
+
+    def read(self, core: int, address: int) -> int:
+        self._validate(core, address)
+        self.stats.reads += 1
+        cached = self.caches[core].lookup(address)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached.version
+
+        self.stats.misses += 1
+        self.stats.traversals += 1  # requestor -> home
+        owner, sharers = self._dir_entry(address)
+        version = self._current_version(address)
+        if owner is not None and owner != core:
+            # Dirty elsewhere: home forwards, owner supplies the data.
+            self.stats.traversals += 2  # home -> owner -> requestor
+            self.stats.cache_to_cache += 1
+            owner_line = self.caches[owner].lookup(address)
+            assert owner_line is not None and owner_line.state == MODIFIED
+            owner_line.state = SHARED
+            version = owner_line.version
+            self._owner[self._line_of(address)] = None
+            sharers.add(owner)
+        else:
+            self.stats.traversals += 1  # home -> requestor (data)
+            if not sharers and owner is None:
+                self.stats.dram_fetches += 1  # L3 may also miss; modelled upstream
+        sharers.add(core)
+        self._install(core, address, SHARED, version)
+        return version
+
+    def write(self, core: int, address: int) -> int:
+        self._validate(core, address)
+        self.stats.writes += 1
+        cached = self.caches[core].lookup(address)
+        if cached is not None and cached.state == MODIFIED:
+            self.stats.hits += 1
+            cached.version = self._bump_version(address)
+            return cached.version
+
+        self.stats.misses += 1
+        self.stats.traversals += 1  # requestor -> home (upgrade/fetch)
+        owner, sharers = self._dir_entry(address)
+        line = self._line_of(address)
+        if owner is not None and owner != core:
+            self.stats.traversals += 2
+            self.stats.cache_to_cache += 1
+            self.stats.invalidations += 1
+            self.caches[owner].invalidate(address)
+        for sharer in list(sharers):
+            if sharer != core:
+                self.stats.invalidations += 1
+                self.stats.traversals += 1  # home -> sharer invalidate
+                self.caches[sharer].invalidate(address)
+        sharers.clear()
+        self.stats.traversals += 1  # data/ack -> requestor
+        self._owner[line] = core
+        version = self._bump_version(address)
+        self._install(core, address, MODIFIED, version)
+        return version
+
+
+class SnoopingProtocol(CoherenceProtocol):
+    """MSI snooping protocol over a broadcast bus (CryoBus).
+
+    Every miss is one broadcast: the owner (if any) sees it directly and
+    responds -- no directory indirection. 'Traversals' count bus
+    transactions (request + data response).
+    """
+
+    def read(self, core: int, address: int) -> int:
+        self._validate(core, address)
+        self.stats.reads += 1
+        cached = self.caches[core].lookup(address)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached.version
+
+        self.stats.misses += 1
+        self.stats.traversals += 1  # request broadcast
+        version = self._current_version(address)
+        supplied = False
+        for other, cache in enumerate(self.caches):
+            if other == core:
+                continue
+            line = cache.lookup(address)
+            if line is not None and line.state == MODIFIED:
+                line.state = SHARED
+                version = line.version
+                self.stats.cache_to_cache += 1
+                supplied = True
+                break
+        if not supplied:
+            self.stats.dram_fetches += 1
+        self.stats.traversals += 1  # data response transaction
+        victim = self.caches[core].insert(address, _Line(SHARED, version))
+        if victim is not None and victim[1].state == MODIFIED:
+            self.stats.writebacks += 1
+            self.stats.traversals += 1
+        return version
+
+    def write(self, core: int, address: int) -> int:
+        self._validate(core, address)
+        self.stats.writes += 1
+        cached = self.caches[core].lookup(address)
+        if cached is not None and cached.state == MODIFIED:
+            self.stats.hits += 1
+            cached.version = self._bump_version(address)
+            return cached.version
+
+        self.stats.misses += 1
+        self.stats.traversals += 1  # invalidating broadcast (BusRdX)
+        for other, cache in enumerate(self.caches):
+            if other == core:
+                continue
+            line = cache.lookup(address)
+            if line is not None:
+                if line.state == MODIFIED:
+                    self.stats.cache_to_cache += 1
+                self.stats.invalidations += 1
+                cache.invalidate(address)
+        self.stats.traversals += 1  # data response
+        version = self._bump_version(address)
+        victim = self.caches[core].insert(address, _Line(MODIFIED, version))
+        if victim is not None and victim[1].state == MODIFIED:
+            self.stats.writebacks += 1
+            self.stats.traversals += 1
+        return version

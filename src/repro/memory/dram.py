@@ -1,0 +1,41 @@
+"""DRAM designs (Table 4): DDR4-2400 at 300 K, CLL-DRAM at 77 K.
+
+CLL-DRAM (Lee et al., ISCA 2019) shortens the charge-sharing-limited
+access path at 77 K; the paper adopts its 3.8x random-access latency
+improvement (60.32 ns -> 15.84 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramDesign:
+    """One main-memory design point."""
+
+    name: str
+    random_access_ns: float
+    #: Sustained bandwidth per channel (GB/s) -- used by stress tests.
+    bandwidth_gb_s: float = 19.2
+
+    def __post_init__(self) -> None:
+        if self.random_access_ns <= 0 or self.bandwidth_gb_s <= 0:
+            raise ValueError(f"{self.name}: parameters must be positive")
+
+    def access_latency_ns(self, queued_requests: float = 0.0) -> float:
+        """Latency including a simple bank-queueing term.
+
+        ``queued_requests`` is the average number of requests already
+        waiting at the controller; each adds roughly half an access.
+        """
+        if queued_requests < 0:
+            raise ValueError("queue depth must be non-negative")
+        return self.random_access_ns * (1.0 + 0.5 * queued_requests)
+
+
+#: DDR4-2400 (Table 4, '300K memory').
+DRAM_300K = DramDesign(name="ddr4_2400_300k", random_access_ns=60.32)
+
+#: CLL-DRAM at 77 K (Table 4, '77K memory').
+DRAM_77K = DramDesign(name="cll_dram_77k", random_access_ns=15.84)

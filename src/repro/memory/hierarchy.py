@@ -1,0 +1,181 @@
+"""Memory-hierarchy latency composition (Fig. 16's methodology).
+
+A shared-L3 access is NoC travel plus SRAM time; a miss adds DRAM. How
+much NoC travel depends on the protocol:
+
+* **directory** (mesh): requestor -> home slice, directory controller
+  service, data back -- two traversals plus endpoint processing on a
+  hit; a miss adds the memory-controller leg; dirty-remote data adds the
+  forward-to-owner indirection (3 traversals). Every traversal pays
+  network-interface cycles and the data response pays serialisation.
+* **snooping** (bus): one request broadcast reaches home *and* every
+  potential owner simultaneously; the data response is a second bus
+  transaction. No indirection and no directory machinery, ever.
+
+Synchronisation amplifies the difference: barriers and contended locks
+hammer one hot line, serialising a full coherence round per participant
+under a directory, while a snooping bus resolves each handoff with a
+single broadcast. That asymmetry (priced in :meth:`barrier_ns` /
+:meth:`lock_ns`) is why barrier-heavy PARSEC workloads gain most from
+CryoBus in the paper's Fig. 23.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.memory.cache import CacheDesign
+from repro.memory.dram import DramDesign
+from repro.noc.latency import AnalyticNocModel
+
+
+@dataclass(frozen=True)
+class L3AccessBreakdown:
+    """Latency decomposition of one shared-L3 access (ns)."""
+
+    noc_ns: float
+    cache_ns: float
+    dram_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        return self.noc_ns + self.cache_ns + self.dram_ns
+
+    @property
+    def noc_fraction(self) -> float:
+        total = self.total_ns
+        return self.noc_ns / total if total > 0 else 0.0
+
+
+#: Payload of a data response in flits (64 B line over a 64-bit fabric).
+DATA_FLITS = 8
+
+#: Network-interface cycles per traversal on a router fabric (injection
+#: queue, protocol message formatting). Bus transactions already include
+#: their signalling in the arbitration overhead.
+NI_CYCLES = 4
+
+#: Directory-controller service per transaction at the home node
+#: (directory FSM, MSHR allocation, scheduling) -- in fabric cycles.
+HOME_SERVICE_CYCLES = 20
+
+#: Average number of cores contending for a hot lock line.
+LOCK_CONTENDERS = 6
+
+
+class MemoryHierarchy:
+    """Latency model of one (caches, DRAM, NoC, protocol) combination."""
+
+    def __init__(
+        self,
+        caches: CacheDesign,
+        dram: DramDesign,
+        noc: AnalyticNocModel,
+        protocol: str,
+    ):
+        if protocol not in ("directory", "snoop"):
+            raise ValueError("protocol must be 'directory' or 'snoop'")
+        if protocol == "snoop" and getattr(noc, "topology", None) is not None:
+            raise ValueError("snooping requires a bus (or ideal) fabric")
+        self.caches = caches
+        self.dram = dram
+        self.noc = noc
+        self.protocol = protocol
+
+    # ------------------------------------------------------------------
+    def _traversal_ns(self, load: float, flits: int = 1) -> float:
+        """One NoC transfer: a one-way route (mesh) or a bus transaction."""
+        breakdown = self.noc.one_way(load)
+        extra_cycles = float(flits - 1)
+        if self.protocol == "directory" and breakdown.base_cycles > 0:
+            extra_cycles += NI_CYCLES
+        return breakdown.total_ns + extra_cycles / self.noc.clock_ghz
+
+    def _home_service_ns(self) -> float:
+        """Directory-controller occupancy at the home node."""
+        if self.protocol != "directory":
+            return 0.0
+        if self.noc.one_way(0.0).base_cycles == 0:
+            return 0.0  # ideal fabric: no protocol machinery either
+        return HOME_SERVICE_CYCLES / self.noc.clock_ghz
+
+    def _directory_lookup_ns(self) -> float:
+        # Tag + directory-state access: roughly half a slice access.
+        return 0.5 * self.caches.l3_latency_ns
+
+    # ------------------------------------------------------------------
+    def l3_hit(self, load: float = 0.0) -> L3AccessBreakdown:
+        """L2 miss that hits in the shared L3 (clean data at home)."""
+        request = self._traversal_ns(load)
+        data = self._traversal_ns(load, DATA_FLITS)
+        if self.protocol == "directory":
+            noc = request + data + self._home_service_ns()
+            cache = self._directory_lookup_ns() + self.caches.l3_latency_ns
+        else:
+            noc = request + data
+            cache = self.caches.l3_latency_ns
+        return L3AccessBreakdown(noc_ns=noc, cache_ns=cache)
+
+    def l3_miss(self, load: float = 0.0) -> L3AccessBreakdown:
+        """L2 miss that also misses in L3 and goes to DRAM."""
+        request = self._traversal_ns(load)
+        data = self._traversal_ns(load, DATA_FLITS)
+        if self.protocol == "directory":
+            # requestor -> home, home -> memory controller, data back.
+            noc = 2 * request + data + self._home_service_ns()
+            cache = self._directory_lookup_ns()
+        else:
+            noc = request + data
+            cache = 0.5 * self.caches.l3_latency_ns  # tag check only
+        return L3AccessBreakdown(
+            noc_ns=noc, cache_ns=cache, dram_ns=self.dram.random_access_ns
+        )
+
+    def cache_to_cache(self, load: float = 0.0) -> L3AccessBreakdown:
+        """L2 miss served by another core's dirty copy."""
+        request = self._traversal_ns(load)
+        data = self._traversal_ns(load, DATA_FLITS)
+        if self.protocol == "directory":
+            # requestor -> home (service + lookup), home -> owner
+            # forward, owner -> requestor data.
+            noc = 2 * request + data + self._home_service_ns()
+            cache = self._directory_lookup_ns() + self.caches.l2_latency_ns
+        else:
+            # The broadcast reaches the owner directly.
+            noc = request + data
+            cache = self.caches.l2_latency_ns
+        return L3AccessBreakdown(noc_ns=noc, cache_ns=cache)
+
+    # ------------------------------------------------------------------
+    # synchronisation
+    # ------------------------------------------------------------------
+    def barrier_ns(self, n_cores: int, load: float = 0.0) -> float:
+        """Cost of one global barrier episode.
+
+        Under a directory, every arriving core performs a serialised
+        coherence round on the barrier line (invalidate the previous
+        holder, fetch, update); on a snooping bus each arrival is one
+        broadcast and the release is observed by everyone at once.
+        """
+        if n_cores < 2:
+            return 0.0
+        fan = 2.0 * ceil(log2(n_cores)) * self._traversal_ns(load)
+        if self.protocol == "directory":
+            per_core = 0.75 * self.cache_to_cache(load).total_ns
+        else:
+            per_core = 0.5 * self._traversal_ns(load)
+        return n_cores * per_core + fan
+
+    def lock_ns(self, load: float = 0.0, contenders: int = LOCK_CONTENDERS) -> float:
+        """Cost of one contended lock acquisition episode.
+
+        A hot lock bounces between ``contenders`` caches; each handoff
+        is a full dirty-remote round under a directory but a single
+        broadcast on a snooping bus.
+        """
+        if contenders < 1:
+            raise ValueError("need at least one contender")
+        if self.protocol == "directory":
+            return contenders * self.cache_to_cache(load).total_ns
+        return contenders * self._traversal_ns(load)

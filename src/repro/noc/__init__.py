@@ -1,0 +1,66 @@
+"""Network-on-chip substrate and the CryoBus contribution.
+
+* :mod:`repro.noc.link` -- CACTI-NUCA-like wire-link model (hops/cycle at
+  temperature), validated against the circuit solver (Fig. 10).
+* :mod:`repro.noc.router` -- router frequency at (T, V): routers are
+  transistor-bound, which is why they barely speed up at 77 K.
+* :mod:`repro.noc.topology` -- Mesh / CMesh / Flattened Butterfly /
+  linear shared bus / H-tree (Fig. 15, Fig. 19) and the 256-core hybrid.
+* :mod:`repro.noc.arbiter` -- the matrix arbiter CryoBus uses.
+* :mod:`repro.noc.bus` -- shared-bus and CryoBus designs, including the
+  dynamic link connection mechanism (cross-link switches).
+* :mod:`repro.noc.traffic` -- synthetic traffic patterns (uniform,
+  transpose, hotspot, bit-reverse, burst).
+* :mod:`repro.noc.simulator` -- cycle-accurate packet simulator (the
+  repo's BookSim) for load-latency sweeps.
+* :mod:`repro.noc.latency` -- analytic zero-load + contention models used
+  by the system simulator and cross-checked against the simulator.
+"""
+
+from repro.noc.link import NOC_LINK_CARD, WireLinkModel
+from repro.noc.router import RouterModel
+from repro.noc.topology import (
+    CMesh,
+    FlattenedButterfly,
+    Mesh,
+    RouterTopology,
+    Topology,
+)
+from repro.noc.arbiter import MatrixArbiter
+from repro.noc.bus import (
+    BusDesign,
+    CryoBusDesign,
+    HTree,
+    HTreeBus300K,
+    SharedBusDesign,
+)
+from repro.noc.flitsim import FlitLevelSimulator
+from repro.noc.hybrid import HybridCryoBus
+from repro.noc.traffic import TrafficPattern, make_pattern
+from repro.noc.simulator import LoadLatencyPoint, NocSimulator
+from repro.noc.latency import AnalyticNocModel, NocLatencyBreakdown
+
+__all__ = [
+    "WireLinkModel",
+    "NOC_LINK_CARD",
+    "RouterModel",
+    "Topology",
+    "RouterTopology",
+    "Mesh",
+    "CMesh",
+    "FlattenedButterfly",
+    "MatrixArbiter",
+    "BusDesign",
+    "SharedBusDesign",
+    "CryoBusDesign",
+    "HTreeBus300K",
+    "HTree",
+    "HybridCryoBus",
+    "FlitLevelSimulator",
+    "TrafficPattern",
+    "make_pattern",
+    "NocSimulator",
+    "LoadLatencyPoint",
+    "AnalyticNocModel",
+    "NocLatencyBreakdown",
+]

@@ -1,0 +1,263 @@
+"""Flit-level NoC simulation: wormhole switching, VCs, credit flow control.
+
+The packet-level engine in :mod:`repro.noc.simulator` reserves whole
+output ports; this engine models what BookSim models -- flits moving
+through virtual channels with finite buffers and credit-based
+backpressure, a separable (input-first, round-robin) switch allocator,
+and per-hop link traversal. It exists to validate that the packet-level
+shortcuts do not distort the load-latency curves the paper's analysis
+rests on; the cross-check lives in the test suite.
+
+The router microarchitecture follows the paper's baseline (Table 4): a
+configurable pipeline depth (1-cycle aggressive or 3-cycle realistic),
+4 VCs per input with 3-flit buffers, XY (or topology-provided) routing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.noc.simulator import LoadLatencyPoint, _summarise
+from repro.noc.topology import RouterTopology
+from repro.noc.traffic import TrafficPattern
+
+#: Injection/ejection pseudo-port index.
+LOCAL_PORT = -1
+
+
+@dataclass
+class _Flit:
+    packet_id: int
+    dst_router: int
+    is_head: bool
+    is_tail: bool
+    inject_cycle: int
+    measured: bool
+
+
+@dataclass
+class _VcState:
+    """One input virtual channel."""
+
+    buffer: Deque[_Flit] = field(default_factory=deque)
+    #: (out_port, out_vc) once the head flit won VC allocation.
+    out_assignment: Optional[Tuple[int, int]] = None
+
+
+class FlitLevelSimulator:
+    """Cycle-driven flit-level simulation over a router topology."""
+
+    def __init__(
+        self,
+        topology: RouterTopology,
+        n_vcs: int = 4,
+        buffer_flits: int = 3,
+        router_cycles: int = 1,
+        link_cycles: int = 1,
+        packet_flits: int = 1,
+    ):
+        if n_vcs < 1 or buffer_flits < 1:
+            raise ValueError("need at least one VC and one buffer slot")
+        if router_cycles < 1 or link_cycles < 1:
+            raise ValueError("router and link stages take at least a cycle")
+        if packet_flits < 1:
+            raise ValueError("packets need at least one flit")
+        self.topology = topology
+        self.n_vcs = n_vcs
+        self.buffer_flits = buffer_flits
+        self.router_cycles = router_cycles
+        self.link_cycles = link_cycles
+        self.packet_flits = packet_flits
+        self._next_port_cache: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _next_router(self, router: int, dst_router: int) -> int:
+        """Next-hop router towards ``dst_router`` (LOCAL if arrived)."""
+        if router == dst_router:
+            return LOCAL_PORT
+        key = (router, dst_router)
+        cached = self._next_port_cache.get(key)
+        if cached is None:
+            route = self.topology.route(router, dst_router)
+            cached = route[0][1]
+            self._next_port_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        pattern: TrafficPattern,
+        injection_rate: float,
+        n_cycles: int = 4000,
+        warmup_fraction: float = 0.2,
+        seed: str = "flit",
+        drain_cycles: Optional[int] = None,
+    ) -> LoadLatencyPoint:
+        if pattern.n_nodes != self.topology.n_nodes:
+            raise ValueError("pattern/topology node counts differ")
+        if n_cycles < 100:
+            raise ValueError("simulation too short to measure anything")
+        warmup = int(n_cycles * warmup_fraction)
+        drain = drain_cycles if drain_cycles is not None else 3 * n_cycles
+
+        # Pre-generate injections, grouped by source router.
+        pending: Dict[int, Deque[Tuple[int, int, bool]]] = {}
+        offered = 0
+        next_packet = 0
+        for cycle, src, dst in pattern.packets(injection_rate, n_cycles, seed):
+            measured = cycle >= warmup
+            offered += 1 if measured else 0
+            src_router = self.topology.router_of(src)
+            dst_router = self.topology.router_of(dst)
+            if src_router == dst_router:
+                continue  # local delivery; not a fabric packet
+            pending.setdefault(src_router, deque()).append(
+                (cycle, dst_router, measured)
+            )
+            next_packet += 1
+
+        # State: input VCs per (router, upstream_router-or-LOCAL).
+        in_vcs: Dict[Tuple[int, int], List[_VcState]] = {}
+        # Credits per (router, downstream_router, vc).
+        credits: Dict[Tuple[int, int, int], int] = {}
+        # Output VC ownership: (router, downstream, vc) -> (in_key, in_vc)
+        owner: Dict[Tuple[int, int, int], Optional[Tuple[Tuple[int, int], int]]] = {}
+        # In-flight link transfers: arrival_cycle -> list of moves.
+        in_flight: Dict[int, List[Tuple[Tuple[int, int], int, _Flit]]] = {}
+        # Round-robin pointers for the separable allocator.
+        rr_vc: Dict[Tuple[int, int], int] = {}
+        rr_sw: Dict[Tuple[int, int], int] = {}
+
+        def vcs_of(router: int, upstream: int) -> List[_VcState]:
+            key = (router, upstream)
+            if key not in in_vcs:
+                in_vcs[key] = [_VcState() for _ in range(self.n_vcs)]
+            return in_vcs[key]
+
+        def credit_of(router: int, downstream: int, vc: int) -> int:
+            return credits.setdefault((router, downstream, vc), self.buffer_flits)
+
+        latencies: List[int] = []
+        packet_id = 0
+        horizon = n_cycles + drain
+
+        for cycle in range(horizon):
+            # 1. Deliver link arrivals scheduled for this cycle.
+            for in_key, vc, flit in in_flight.pop(cycle, ()):
+                vcs_of(*in_key)[vc].buffer.append(flit)
+
+            # 2. Source injection: head-of-queue packet enters a free
+            #    injection VC, one flit per cycle thereafter.
+            for router, queue in pending.items():
+                if not queue or queue[0][0] > cycle:
+                    continue
+                inj_vcs = vcs_of(router, LOCAL_PORT)
+                for vc_state in inj_vcs:
+                    if vc_state.buffer or vc_state.out_assignment is not None:
+                        continue
+                    inject_cycle, dst_router, measured = queue.popleft()
+                    for flit_idx in range(self.packet_flits):
+                        vc_state.buffer.append(
+                            _Flit(
+                                packet_id=packet_id,
+                                dst_router=dst_router,
+                                is_head=flit_idx == 0,
+                                is_tail=flit_idx == self.packet_flits - 1,
+                                inject_cycle=inject_cycle,
+                                measured=measured,
+                            )
+                        )
+                    packet_id += 1
+                    break
+
+            # 3. VC allocation: head flits acquire a downstream VC.
+            for (router, upstream), states in list(in_vcs.items()):
+                for vc_state in states:
+                    if vc_state.out_assignment is not None or not vc_state.buffer:
+                        continue
+                    head = vc_state.buffer[0]
+                    if not head.is_head:
+                        continue
+                    next_hop = self._next_router(router, head.dst_router)
+                    if next_hop == LOCAL_PORT:
+                        vc_state.out_assignment = (LOCAL_PORT, 0)
+                        continue
+                    start = rr_vc.get((router, next_hop), 0)
+                    for offset in range(self.n_vcs):
+                        vc = (start + offset) % self.n_vcs
+                        if owner.get((router, next_hop, vc)) is None:
+                            owner[(router, next_hop, vc)] = ((router, upstream), id(vc_state))
+                            vc_state.out_assignment = (next_hop, vc)
+                            rr_vc[(router, next_hop)] = vc + 1
+                            break
+
+            # 4. Switch allocation + traversal: one flit per output port
+            #    and per input port, round-robin over VCs.
+            used_outputs: set = set()
+            used_inputs: set = set()
+            for (router, upstream), states in list(in_vcs.items()):
+                in_key = (router, upstream)
+                if in_key in used_inputs:
+                    continue
+                start = rr_sw.get(in_key, 0)
+                for offset in range(self.n_vcs):
+                    vc_idx = (start + offset) % self.n_vcs
+                    vc_state = states[vc_idx]
+                    if not vc_state.buffer or vc_state.out_assignment is None:
+                        continue
+                    out_port, out_vc = vc_state.out_assignment
+                    flit = vc_state.buffer[0]
+
+                    if out_port == LOCAL_PORT:
+                        vc_state.buffer.popleft()
+                        if upstream != LOCAL_PORT:
+                            credits[(upstream, router, vc_idx)] = (
+                                credit_of(upstream, router, vc_idx) + 1
+                            )
+                        if flit.is_tail:
+                            vc_state.out_assignment = None
+                            if flit.measured and cycle < horizon:
+                                latencies.append(cycle + 1 - flit.inject_cycle)
+                        used_inputs.add(in_key)
+                        rr_sw[in_key] = vc_idx + 1
+                        break
+
+                    if (router, out_port) in used_outputs:
+                        continue
+                    if credit_of(router, out_port, out_vc) <= 0:
+                        continue
+                    vc_state.buffer.popleft()
+                    credits[(router, out_port, out_vc)] -= 1
+                    if upstream != LOCAL_PORT:
+                        credits[(upstream, router, vc_idx)] = (
+                            credit_of(upstream, router, vc_idx) + 1
+                        )
+                    arrival = cycle + self.router_cycles + self.link_cycles
+                    in_flight.setdefault(arrival, []).append(
+                        ((out_port, router), out_vc, flit)
+                    )
+                    if flit.is_tail:
+                        vc_state.out_assignment = None
+                        owner[(router, out_port, out_vc)] = None
+                    used_outputs.add((router, out_port))
+                    used_inputs.add(in_key)
+                    rr_sw[in_key] = vc_idx + 1
+                    break
+
+            if (
+                cycle >= n_cycles
+                and not in_flight
+                and not any(q for q in pending.values())
+                and not any(
+                    vc.buffer for states in in_vcs.values() for vc in states
+                )
+            ):
+                break
+
+        zero_load = (
+            self.topology.average_hops() * (self.router_cycles + self.link_cycles)
+            + self.packet_flits
+        )
+        return _summarise(injection_rate, latencies, offered, zero_load)

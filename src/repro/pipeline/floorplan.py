@@ -1,0 +1,125 @@
+"""Floorplan-driven inter-unit wire lengths (Section 3.1.2, Table 1).
+
+The paper's key modelling extension over CC-Model is a realistic
+inter-unit wire model: long forwarding wires are measured on the Intel
+Skylake floorplan using unit areas synthesised from BOOM. Table 1 pins
+the geometry: 8 ALUs and the integer register file share one set of
+forwarding wires, whose length is the sum of the stacked unit heights
+(8 x 74 um + 1090 um ~= 1686 um).
+
+Structural scaling (CryoCore's halved design) shortens these wires: with
+4 ALUs and a 100-entry register file the forwarding run shrinks to about
+900 um, which is a large part of why the narrow core tolerates higher
+frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.pipeline.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class UnitGeometry:
+    """Area/width/height of one microarchitectural unit (Table 1)."""
+
+    name: str
+    area_um2: float
+    width_um: float
+    height_um: float
+
+    def __post_init__(self) -> None:
+        if min(self.area_um2, self.width_um, self.height_um) <= 0:
+            raise ValueError(f"{self.name}: geometry must be positive")
+        # Area should be consistent with the bounding box within 5 %.
+        box = self.width_um * self.height_um
+        if not (0.95 <= self.area_um2 / box <= 1.05):
+            raise ValueError(
+                f"{self.name}: area {self.area_um2} inconsistent with "
+                f"{self.width_um} x {self.height_um} bounding box"
+            )
+
+
+#: Table 1: ALU and register file geometry from BOOM synthesised with
+#: Design Compiler on FreePDK 45 nm.
+ALU_GEOMETRY = UnitGeometry("alu", area_um2=25_757.0, width_um=345.0, height_um=74.0)
+REGFILE_GEOMETRY = UnitGeometry(
+    "register_file", area_um2=376_820.0, width_um=345.0, height_um=1090.0
+)
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A named floorplan: unit geometries plus unit adjacency.
+
+    Adjacent units are compiled together and get their inter-unit delay
+    from synthesis alone (the (2)-1 path in Fig. 6); non-adjacent units
+    need the explicit wire model ((2)-2).
+    """
+
+    name: str
+    units: Dict[str, UnitGeometry]
+    adjacent_pairs: FrozenSet[Tuple[str, str]]
+
+    def unit(self, name: str) -> UnitGeometry:
+        try:
+            return self.units[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown unit {name!r}; available: {sorted(self.units)}"
+            ) from None
+
+    def are_adjacent(self, a: str, b: str) -> bool:
+        self.unit(a)
+        self.unit(b)
+        return (a, b) in self.adjacent_pairs or (b, a) in self.adjacent_pairs
+
+    def forwarding_wire_length_um(self, config: CoreConfig) -> float:
+        """Length of the shared forwarding wire for ``config``.
+
+        Following Table 1 and the floorplan convention of Palacharla et
+        al. (ALUs and register file stacked on one forwarding spine):
+        the wire traverses every ALU plus the register file. The
+        register-file height scales with the physical integer register
+        count; ALU count equals the issue width.
+        """
+        alu = self.unit("alu")
+        regfile = self.unit("register_file")
+        rf_height = regfile.height_um * config.int_reg_ratio
+        return config.issue_width * alu.height_um + rf_height
+
+
+#: Skylake-like execution-cluster floorplan. Adjacency reflects the
+#: wikichip Skylake die shot: decode sits next to rename, the BTB next to
+#: the I-cache, while the ALUs / register file / issue queue talk over
+#: the long forwarding spine (non-adjacent -> explicit wire model).
+SKYLAKE_FLOORPLAN = Floorplan(
+    name="skylake",
+    units={
+        "alu": ALU_GEOMETRY,
+        "register_file": REGFILE_GEOMETRY,
+        "decoder": UnitGeometry("decoder", 48_000.0, 200.0, 240.0),
+        "rename": UnitGeometry("rename", 36_000.0, 200.0, 180.0),
+        "btb": UnitGeometry("btb", 52_000.0, 260.0, 200.0),
+        "icache": UnitGeometry("icache", 260_000.0, 520.0, 500.0),
+        "dcache": UnitGeometry("dcache", 260_000.0, 520.0, 500.0),
+        "issue_queue": UnitGeometry("issue_queue", 90_000.0, 300.0, 300.0),
+        "lsq": UnitGeometry("lsq", 76_000.0, 280.0, 271.4),
+    },
+    adjacent_pairs=frozenset(
+        {
+            ("decoder", "rename"),
+            ("btb", "icache"),
+            ("icache", "decoder"),
+            ("issue_queue", "register_file"),
+            ("lsq", "dcache"),
+        }
+    ),
+)
+
+
+def forwarding_wire_length_um(config: CoreConfig) -> float:
+    """Convenience wrapper using the Skylake floorplan."""
+    return SKYLAKE_FLOORPLAN.forwarding_wire_length_um(config)

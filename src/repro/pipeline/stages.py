@@ -1,0 +1,270 @@
+"""The 13 representative BOOM pipeline stages and their delay recipes.
+
+Each :class:`StageSpec` carries:
+
+* a **transistor delay** at the 8-issue / 300 K / nominal-voltage
+  reference point, which the model rescales for structure (width, queue
+  sizes) and operating point (through the cryo-MOSFET card);
+* a **wire spec** -- metal layer plus length, where the length either is
+  fixed, scales with a structure (CAM broadcast wires grow with queue
+  size), or is the floorplan-derived forwarding wire of Table 1;
+* **pipelinability**: the backend stages that implement back-to-back
+  execution of dependent instructions (data read from bypass, execute
+  bypass, and their companions) cannot be split without wrecking IPC
+  (300 K Observation #2), while the frontend stages carry a
+  :class:`SplitSpec` describing exactly the cut the paper makes in
+  Section 4.4.
+
+Delays are expressed in *Skylake-equivalent picoseconds*: the paper
+reports its 45 nm synthesis results normalised so that the 300 K baseline
+stage maximum corresponds to a 4 GHz clock (250 ps). ``NODE_SCALE``
+translates the FreePDK-45 wire model's absolute delays into that frame;
+it is a single uniform factor, so every ratio the analysis relies on is
+preserved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.pipeline.config import CoreConfig
+
+#: Uniform 45 nm -> Skylake-equivalent delay scale (see module docstring).
+NODE_SCALE = 0.8
+
+#: Flip-flop insertion overhead (setup + clk-to-q) added to each child of
+#: a split stage, in reference picoseconds at 300 K / nominal voltage.
+LATCH_OVERHEAD_PS = 15.0
+
+
+class StageKind(enum.Enum):
+    FRONTEND = "frontend"
+    BACKEND = "backend"
+
+
+class WireScaling(enum.Enum):
+    """How a stage's wire length responds to structural scaling."""
+
+    NONE = "none"
+    FORWARDING = "forwarding"  # floorplan-derived (Table 1)
+    ISSUE_QUEUE = "issue_queue"  # CAM broadcast spans the queue
+    LSQ = "lsq"
+    FP_REGS = "fp_regs"
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """Metal layer + length recipe for a stage's dominant wire."""
+
+    layer: str
+    base_length_um: float
+    scaling: WireScaling = WireScaling.NONE
+
+    def length_um(self, config: CoreConfig, forwarding_length_um: float) -> float:
+        if self.scaling is WireScaling.FORWARDING:
+            return forwarding_length_um
+        if self.scaling is WireScaling.ISSUE_QUEUE:
+            return self.base_length_um * config.issue_queue_ratio
+        if self.scaling is WireScaling.LSQ:
+            return self.base_length_um * config.lsq_ratio
+        if self.scaling is WireScaling.FP_REGS:
+            return self.base_length_um * config.fp_reg_ratio
+        return self.base_length_um
+
+
+@dataclass(frozen=True)
+class SplitChild:
+    """One half of a superpipelined stage (Section 4.4)."""
+
+    name: str
+    transistor_fraction: float
+    wire: WireSpec
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """How a pipelinable stage is cut by the superpipelining transform."""
+
+    children: Tuple[SplitChild, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(child.transistor_fraction for child in self.children)
+        if not (0.99 <= total <= 1.01):
+            raise ValueError(f"split fractions must sum to 1, got {total}")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage's delay recipe."""
+
+    name: str
+    kind: StageKind
+    transistor_ps: float
+    wire: WireSpec
+    #: Transistor delay scales as (issue_width / 8) ** width_exponent.
+    width_exponent: float = 0.0
+    pipelinable: bool = True
+    split: Optional[SplitSpec] = None
+    #: Why the stage must stay single-cycle, when it must.
+    unpipelinable_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.transistor_ps <= 0:
+            raise ValueError(f"{self.name}: transistor delay must be positive")
+        if not self.pipelinable and self.split is not None:
+            raise ValueError(f"{self.name}: un-pipelinable stage cannot carry a split")
+
+    def transistor_delay_ps(self, config: CoreConfig) -> float:
+        """Structure-scaled transistor delay at 300 K / nominal voltage."""
+        return self.transistor_ps * config.width_ratio**self.width_exponent
+
+
+def _split(*children: Tuple[str, float, str, float]) -> SplitSpec:
+    return SplitSpec(
+        children=tuple(
+            SplitChild(name, fraction, WireSpec(layer, length))
+            for name, fraction, layer, length in children
+        )
+    )
+
+
+#: The 13 representative stages of Fig. 11 / Fig. 12, frontend first.
+BOOM_STAGES: Tuple[StageSpec, ...] = (
+    # ---------------- frontend ----------------
+    StageSpec(
+        name="fetch1",
+        kind=StageKind.FRONTEND,
+        transistor_ps=197.0,
+        wire=WireSpec("local", 150.0),
+        width_exponent=0.074,
+        split=_split(
+            ("btb_fast_predict", 0.52, "local", 100.0),
+            ("icache_decode", 0.48, "local", 80.0),
+        ),
+    ),
+    StageSpec(
+        name="fetch2",  # I-cache array access: SRAM, stays one stage
+        kind=StageKind.FRONTEND,
+        transistor_ps=130.0,
+        wire=WireSpec("semi_global", 1200.0),
+        width_exponent=0.074,
+        split=None,
+    ),
+    StageSpec(
+        name="fetch3",  # branch checker of the overriding predictor
+        kind=StageKind.FRONTEND,
+        transistor_ps=185.0,
+        wire=WireSpec("local", 100.0),
+        width_exponent=0.074,
+        split=_split(
+            ("branch_decode", 0.50, "local", 70.0),
+            ("address_check", 0.50, "local", 70.0),
+        ),
+    ),
+    StageSpec(
+        name="decode_rename",  # decoder + rename dependency checker
+        kind=StageKind.FRONTEND,
+        transistor_ps=195.0,
+        wire=WireSpec("semi_global", 400.0),
+        width_exponent=0.12,
+        split=_split(
+            ("instruction_decode", 0.55, "semi_global", 250.0),
+            ("dependency_check", 0.45, "semi_global", 250.0),
+        ),
+    ),
+    StageSpec(
+        name="rename_dispatch",  # map-table access + dispatch
+        kind=StageKind.FRONTEND,
+        transistor_ps=135.0,
+        wire=WireSpec("semi_global", 600.0),
+        width_exponent=0.12,
+        split=None,
+    ),
+    # ---------------- backend ----------------
+    StageSpec(
+        name="issue_select",  # wakeup & select CAM
+        kind=StageKind.BACKEND,
+        transistor_ps=135.0,
+        wire=WireSpec("semi_global", 900.0, WireScaling.ISSUE_QUEUE),
+        width_exponent=0.10,
+        pipelinable=False,
+        unpipelinable_reason="wakeup/select loop must close in one cycle",
+    ),
+    StageSpec(
+        name="register_read",  # data read from bypass
+        kind=StageKind.BACKEND,
+        transistor_ps=100.0,
+        wire=WireSpec("semi_global", 1686.0, WireScaling.FORWARDING),
+        width_exponent=0.234,
+        pipelinable=False,
+        unpipelinable_reason="bypass read feeds back-to-back dependents",
+    ),
+    StageSpec(
+        name="execute_bypass",
+        kind=StageKind.BACKEND,
+        transistor_ps=110.0,
+        wire=WireSpec("semi_global", 1686.0, WireScaling.FORWARDING),
+        width_exponent=0.234,
+        pipelinable=False,
+        unpipelinable_reason="forwarding to dependents must complete in-cycle",
+    ),
+    StageSpec(
+        name="writeback",
+        kind=StageKind.BACKEND,
+        transistor_ps=102.0,
+        wire=WireSpec("semi_global", 1686.0, WireScaling.FORWARDING),
+        width_exponent=0.15,
+        pipelinable=False,
+        unpipelinable_reason="shares the forwarding spine with execute",
+    ),
+    StageSpec(
+        name="wakeup_from_writeback",
+        kind=StageKind.BACKEND,
+        transistor_ps=110.0,
+        wire=WireSpec("semi_global", 1400.0, WireScaling.ISSUE_QUEUE),
+        width_exponent=0.10,
+        pipelinable=False,
+        unpipelinable_reason="wakeup broadcast closes the scheduling loop",
+    ),
+    StageSpec(
+        name="lsq_search",
+        kind=StageKind.BACKEND,
+        transistor_ps=135.0,
+        wire=WireSpec("semi_global", 800.0, WireScaling.LSQ),
+        width_exponent=0.10,
+        pipelinable=False,
+        unpipelinable_reason="store-to-load forwarding is latency-critical",
+    ),
+    StageSpec(
+        name="dcache_access",
+        kind=StageKind.BACKEND,
+        transistor_ps=125.0,
+        wire=WireSpec("semi_global", 1200.0),
+        width_exponent=0.074,
+        split=None,
+    ),
+    StageSpec(
+        name="fp_issue",
+        kind=StageKind.BACKEND,
+        transistor_ps=130.0,
+        wire=WireSpec("semi_global", 700.0, WireScaling.FP_REGS),
+        width_exponent=0.10,
+        pipelinable=False,
+        unpipelinable_reason="FP wakeup/select loop",
+    ),
+)
+
+#: Names of the stages Fig. 2 singles out (highest delay, wire-heavy).
+FIG2_STAGES = ("writeback", "execute_bypass", "register_read")
+
+#: Frontend stages the paper superpipelines (Section 4.4).
+SUPERPIPELINED_STAGES = ("fetch1", "fetch3", "decode_rename")
+
+
+def stage_by_name(name: str) -> StageSpec:
+    for stage in BOOM_STAGES:
+        if stage.name == name:
+            return stage
+    raise KeyError(f"unknown stage {name!r}")

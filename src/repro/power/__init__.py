@@ -1,0 +1,37 @@
+"""Power models: core (McPAT-like), NoC (Orion-like) and cryogenic cooling.
+
+All power figures are *relative* to a named reference design, matching
+how the paper reports them (Table 3 normalises to the 300 K baseline
+core; Fig. 22 to 300 K Mesh). The models keep McPAT/Orion's structure --
+dynamic power scales with switched capacitance, V_dd^2, frequency and
+activity; static power follows the cryo-MOSFET leakage -- and integrate
+the cooling overhead of Eq. (1)/(2).
+"""
+
+from repro.power.cooling import (
+    COOLING_OVERHEAD_77K,
+    CoolingModel,
+    carnot_cooling_overhead,
+)
+from repro.power.mcpat import CorePowerModel, CorePowerReport
+from repro.power.orion import (
+    NocPowerModel,
+    NocPowerReport,
+    profile_from_bus,
+    profile_from_mesh,
+)
+from repro.power.tco import TemperatureOptimizer, TemperaturePoint
+
+__all__ = [
+    "CoolingModel",
+    "COOLING_OVERHEAD_77K",
+    "carnot_cooling_overhead",
+    "CorePowerModel",
+    "CorePowerReport",
+    "NocPowerModel",
+    "NocPowerReport",
+    "profile_from_mesh",
+    "profile_from_bus",
+    "TemperatureOptimizer",
+    "TemperaturePoint",
+]

@@ -1,0 +1,124 @@
+"""McPAT-like core power model with cryo-MOSFET leakage scaling.
+
+Power is reported relative to the 300 K baseline core (Table 3's
+convention). The structure mirrors McPAT integrated with cryo-MOSFET the
+way Section 6.1.2 describes:
+
+* dynamic power ~ C_switched * V_dd^2 * f * activity, where the switched
+  capacitance follows the core's structural sizing (CryoCore's halved
+  design is calibrated to its published 77.8 % power reduction) and
+  superpipelining adds latch capacitance per extra stage;
+* static power follows the cryo-MOSFET leakage factor -- at 300 K it is
+  a fixed fraction of baseline power; at 77 K it all but vanishes, and
+  *that* is what makes the V_dd/V_th scaling free;
+* the cooling model converts device power into total power (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.config import (
+    CoreConfig,
+    OperatingPoint,
+    OP_300K_NOMINAL,
+    SKYLAKE_CONFIG,
+)
+from repro.power.cooling import CoolingModel
+from repro.tech.mosfet import CryoMOSFET, FREEPDK45_CARD, MOSFETCard
+
+#: Reference frequency of the 300 K baseline core (GHz).
+REFERENCE_FREQUENCY_GHZ = 4.0
+#: Reference pipeline depth (latch count baseline).
+REFERENCE_DEPTH = 14
+
+
+@dataclass(frozen=True)
+class CorePowerReport:
+    """Power of one core design, relative to the 300 K baseline core."""
+
+    design_name: str
+    dynamic_rel: float
+    static_rel: float
+    cooling_rel: float
+
+    @property
+    def device_rel(self) -> float:
+        return self.dynamic_rel + self.static_rel
+
+    @property
+    def total_rel(self) -> float:
+        """Device plus cooling power (the Table 3 'Total power' row)."""
+        return self.device_rel + self.cooling_rel
+
+
+class CorePowerModel:
+    """Relative core power at arbitrary (structure, operating point, f)."""
+
+    #: Share of baseline core power that is dynamic at 300 K.
+    DYNAMIC_FRACTION = 0.80
+    STATIC_FRACTION = 0.20
+    #: Added switched capacitance per extra pipeline stage (latches).
+    LATCH_POWER_PER_STAGE = 0.077
+    #: Superlinearity of switched capacitance versus structural sizing;
+    #: calibrated so the CryoCore sizing cuts power by its published
+    #: 77.8 % (core capacitance ratio 0.222).
+    CAPACITANCE_EXPONENT = 2.2
+
+    def __init__(self, logic_card: MOSFETCard = FREEPDK45_CARD):
+        self.mosfet = CryoMOSFET(logic_card)
+        self._vdd_ref = logic_card.vdd_nominal_v
+
+    def capacitance_rel(self, config: CoreConfig) -> float:
+        """Switched capacitance relative to the 8-issue baseline."""
+        queue_mix = (
+            config.load_queue / SKYLAKE_CONFIG.load_queue
+            + config.store_queue / SKYLAKE_CONFIG.store_queue
+            + config.issue_queue / SKYLAKE_CONFIG.issue_queue
+            + config.rob_size / SKYLAKE_CONFIG.rob_size
+            + config.int_regs / SKYLAKE_CONFIG.int_regs
+            + config.fp_regs / SKYLAKE_CONFIG.fp_regs
+        ) / 6.0
+        mix = 0.5 * config.width_ratio + 0.5 * queue_mix
+        latch = 1.0 + self.LATCH_POWER_PER_STAGE * max(
+            config.pipeline_depth - REFERENCE_DEPTH, 0
+        )
+        return mix**self.CAPACITANCE_EXPONENT * latch
+
+    def dynamic_rel(
+        self, config: CoreConfig, op: OperatingPoint, frequency_ghz: float
+    ) -> float:
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        v_ratio = op.vdd_v / self._vdd_ref
+        f_ratio = frequency_ghz / REFERENCE_FREQUENCY_GHZ
+        return self.DYNAMIC_FRACTION * self.capacitance_rel(config) * v_ratio**2 * f_ratio
+
+    def static_rel(self, config: CoreConfig, op: OperatingPoint) -> float:
+        leak = self.mosfet.leakage_factor(op.temperature_k, op.vdd_v, op.vth_v)
+        # Leaking width scales with the same structural mix as switched C.
+        area = self.capacitance_rel(config)
+        return self.STATIC_FRACTION * area * leak
+
+    def report(
+        self, config: CoreConfig, op: OperatingPoint, frequency_ghz: float
+    ) -> CorePowerReport:
+        """Full power accounting, normalised to the 300 K baseline core.
+
+        The normalisation anchor is (SKYLAKE_CONFIG, 300 K nominal,
+        4 GHz) whose report evaluates to device power 1.0 by
+        construction.
+        """
+        dynamic = self.dynamic_rel(config, op, frequency_ghz)
+        static = self.static_rel(config, op)
+        cooling = CoolingModel(op.temperature_k).cooling_power(dynamic + static)
+        return CorePowerReport(
+            design_name=f"{config.name}@{op.name}",
+            dynamic_rel=dynamic,
+            static_rel=static,
+            cooling_rel=cooling,
+        )
+
+    def baseline_report(self) -> CorePowerReport:
+        """The normalisation anchor (should be exactly 1.0 device power)."""
+        return self.report(SKYLAKE_CONFIG, OP_300K_NOMINAL, REFERENCE_FREQUENCY_GHZ)

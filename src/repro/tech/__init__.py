@@ -1,0 +1,54 @@
+"""Cryogenic device substrate (the CC-Model device layer).
+
+This package models the two device populations whose temperature behaviour
+drives every result in the paper:
+
+* **wires** — copper interconnect whose resistivity falls steeply with
+  temperature (:mod:`repro.tech.resistivity`, :mod:`repro.tech.metal`,
+  :mod:`repro.tech.wire`), and
+* **transistors** — MOSFETs whose drive current improves only mildly at a
+  fixed operating point but dramatically once V_dd/V_th scaling (enabled by
+  the collapse of leakage at 77 K) is applied (:mod:`repro.tech.mosfet`).
+
+:mod:`repro.tech.repeater` combines both to optimally buffer long wires,
+and :mod:`repro.tech.scaling` provides the ITRS-style node projection used
+in model validation.
+"""
+
+from repro.tech.constants import (
+    T_CRYO,
+    T_LN2,
+    T_ROOM,
+    BOLTZMANN_EV,
+    DEBYE_TEMPERATURE_CU,
+)
+from repro.tech.metal import MetalLayer, WireTechnology, FREEPDK45_STACK
+from repro.tech.resistivity import bloch_gruneisen_ratio, CryoResistivityModel
+from repro.tech.mosfet import CryoMOSFET, MOSFETCard, FREEPDK45_CARD, INDUSTRY_2Z_CARD
+from repro.tech.repeater import RepeaterDesign, RepeaterOptimizer
+from repro.tech.wire import CryoWireModel, WireDelayBreakdown
+from repro.tech.scaling import ITRSNode, ITRS_ROADMAP, project_speedup
+
+__all__ = [
+    "T_ROOM",
+    "T_LN2",
+    "T_CRYO",
+    "BOLTZMANN_EV",
+    "DEBYE_TEMPERATURE_CU",
+    "MetalLayer",
+    "WireTechnology",
+    "FREEPDK45_STACK",
+    "bloch_gruneisen_ratio",
+    "CryoResistivityModel",
+    "CryoMOSFET",
+    "MOSFETCard",
+    "FREEPDK45_CARD",
+    "INDUSTRY_2Z_CARD",
+    "RepeaterDesign",
+    "RepeaterOptimizer",
+    "CryoWireModel",
+    "WireDelayBreakdown",
+    "ITRSNode",
+    "ITRS_ROADMAP",
+    "project_speedup",
+]

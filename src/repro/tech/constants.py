@@ -1,0 +1,45 @@
+"""Physical constants and reference temperatures for the cryo models."""
+
+from __future__ import annotations
+
+#: Room temperature used as the 300 K reference in the paper (kelvin).
+T_ROOM = 300.0
+
+#: Liquid-nitrogen temperature, the paper's target operating point (kelvin).
+T_LN2 = 77.0
+
+#: Alias used throughout the experiments ("77K" in the paper's vocabulary).
+T_CRYO = T_LN2
+
+#: Temperature of the paper's real-machine validation rig (kelvin).
+#: The LN2-evaporator setup in Section 3.2 stabilised the CPUs at 135 K.
+T_VALIDATION = 135.0
+
+#: Boltzmann constant in eV/K (used by the subthreshold leakage model).
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Debye temperature of copper (kelvin), for the Bloch-Grueneisen phonon
+#: resistivity term.
+DEBYE_TEMPERATURE_CU = 343.0
+
+#: Bulk copper resistivity at 300 K (ohm * micron).
+#: 1.72e-8 ohm*m == 1.72e-2 ohm*um.
+RHO_CU_300K_OHM_UM = 1.72e-2
+
+#: Lowest temperature at which the models are considered meaningful.  The
+#: Bloch-Grueneisen fit and the MOSFET interpolation are calibrated between
+#: 77 K and 300 K; extrapolating below 60 K silently would be wrong.
+T_MODEL_MIN = 60.0
+
+#: Highest supported temperature (the models are not meant for hot silicon).
+T_MODEL_MAX = 400.0
+
+
+def check_temperature(temperature_k: float) -> float:
+    """Validate that a temperature is inside the calibrated model range."""
+    if not (T_MODEL_MIN <= temperature_k <= T_MODEL_MAX):
+        raise ValueError(
+            f"temperature {temperature_k} K outside calibrated range "
+            f"[{T_MODEL_MIN}, {T_MODEL_MAX}] K"
+        )
+    return float(temperature_k)

@@ -1,0 +1,194 @@
+"""Latency-optimal repeater insertion for long wires.
+
+Long wires are broken into ``n`` segments, each driven by a repeater of
+size ``h`` (in units of a minimum inverter). Per-segment Elmore delay:
+
+    t_seg = 0.69 * (R0/h) * (c*l + h*(Cg + Cp))     -- driver charging
+          + 0.38 * r*l * c*l                        -- distributed wire RC
+          + 0.69 * r*l * h*Cg                       -- wire charging next gate
+
+with ``l = L/n``, wire parameters ``r`` (ohm/um) and ``c`` (fF/um) from
+the metal layer at the evaluation temperature, and driver parameters from
+a MOSFET card (the card's gate-delay factor scales ``R0``).
+
+Closed forms give the optimum size ``h* = sqrt(R0*c / (r*Cg))`` and
+repeater count ``n* = L * sqrt(0.38*r*c / (0.69*R0*(Cg+Cp)))``; the
+optimizer evaluates the integer neighbours of ``n*`` (plus the unrepeated
+case) and returns the best.
+
+Calibration: the driver constants below make a latency-optimal 2 mm
+global-wire link cost ~0.064 ns at 300 K -- the CACTI-NUCA anchor the
+paper quotes for its 4 GHz mesh (4 hops/cycle, Section 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tech.constants import T_ROOM
+from repro.tech.metal import OHM_FF_TO_NS, MetalLayer
+from repro.tech.mosfet import CryoMOSFET, MOSFETCard, INDUSTRY_2Z_CARD
+
+#: Minimum-size driver output resistance (ohm) at 300 K.
+DRIVER_R0_OHM = 25_000.0
+#: Minimum-size gate input capacitance (fF).
+DRIVER_CG_FF = 0.25
+#: Minimum-size driver parasitic output capacitance (fF).
+DRIVER_CP_FF = 0.25
+
+_SW = 0.69  # switching (step response to 50%) Elmore coefficient
+_DW = 0.38  # distributed-wire Elmore coefficient
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """Result of optimising one wire at one operating point."""
+
+    layer_name: str
+    length_um: float
+    temperature_k: float
+    n_repeaters: int
+    repeater_size: float
+    delay_ns: float
+
+    @property
+    def is_repeated(self) -> bool:
+        return self.n_repeaters > 1
+
+    @property
+    def delay_per_mm_ns(self) -> float:
+        return self.delay_ns / (self.length_um / 1000.0)
+
+
+class RepeaterOptimizer:
+    """Optimise repeater count and size for wires on one metal layer.
+
+    Parameters
+    ----------
+    layer:
+        The metal layer the wire runs on.
+    driver_card:
+        MOSFET card modelling the repeater transistors. The paper drives
+        global (NoC) wires with an industry 2z-nm card; intra-core
+        semi-global wires are repeated with standard cells from the logic
+        library (use :data:`repro.tech.mosfet.FREEPDK45_CARD` there).
+    """
+
+    def __init__(
+        self,
+        layer: MetalLayer,
+        driver_card: MOSFETCard = INDUSTRY_2Z_CARD,
+        *,
+        driver_r0_ohm: float = DRIVER_R0_OHM,
+        driver_cg_ff: float = DRIVER_CG_FF,
+        driver_cp_ff: float = DRIVER_CP_FF,
+    ):
+        self.layer = layer
+        self.driver = CryoMOSFET(driver_card)
+        self.driver_r0_ohm = driver_r0_ohm
+        self.driver_cg_ff = driver_cg_ff
+        self.driver_cp_ff = driver_cp_ff
+
+    # ------------------------------------------------------------------
+    def _driver_resistance(
+        self,
+        temperature_k: float,
+        vdd_v: Optional[float],
+        vth_v: Optional[float],
+    ) -> float:
+        """Unit-driver output resistance at the operating point (ohm)."""
+        return self.driver_r0_ohm * self.driver.gate_delay_factor(
+            temperature_k, vdd_v, vth_v
+        )
+
+    def _segment_delay_ns(
+        self, r0: float, h: float, r: float, c: float, seg_len_um: float
+    ) -> float:
+        cg, cp = self.driver_cg_ff, self.driver_cp_ff
+        wire_c = c * seg_len_um
+        wire_r = r * seg_len_um
+        driver = _SW * (r0 / h) * (wire_c + h * (cg + cp))
+        distributed = _DW * wire_r * wire_c
+        gate_charge = _SW * wire_r * h * cg
+        return (driver + distributed + gate_charge) * OHM_FF_TO_NS
+
+    def delay_with(
+        self,
+        length_um: float,
+        n_repeaters: int,
+        repeater_size: float,
+        temperature_k: float = T_ROOM,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> float:
+        """Delay (ns) of the wire with an explicit repeater assignment."""
+        if length_um <= 0:
+            raise ValueError("length must be positive")
+        if n_repeaters < 1:
+            raise ValueError("need at least the source driver (n_repeaters >= 1)")
+        if repeater_size < 1.0:
+            raise ValueError("repeater size below minimum (1.0)")
+        r0 = self._driver_resistance(temperature_k, vdd_v, vth_v)
+        r = self.layer.resistance_per_um(temperature_k)
+        c = self.layer.capacitance_f_per_um
+        seg = length_um / n_repeaters
+        return n_repeaters * self._segment_delay_ns(r0, repeater_size, r, c, seg)
+
+    def optimize(
+        self,
+        length_um: float,
+        temperature_k: float = T_ROOM,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> RepeaterDesign:
+        """Find the latency-optimal repeater count and size.
+
+        ``n_repeaters == 1`` means a single driver at the source (an
+        'unrepeated' wire in the paper's Fig. 5 terminology).
+        """
+        if length_um <= 0:
+            raise ValueError("length must be positive")
+        r0 = self._driver_resistance(temperature_k, vdd_v, vth_v)
+        r = self.layer.resistance_per_um(temperature_k)
+        c = self.layer.capacitance_f_per_um
+        cg, cp = self.driver_cg_ff, self.driver_cp_ff
+
+        h_opt = max(1.0, math.sqrt(r0 * c / (r * cg)))
+        n_cont = length_um * math.sqrt((_DW * r * c) / (_SW * r0 * (cg + cp)))
+        candidates = {1, max(1, math.floor(n_cont)), math.ceil(n_cont)}
+
+        best: Optional[RepeaterDesign] = None
+        for n in sorted(candidates):
+            delay = self.delay_with(
+                length_um, n, h_opt, temperature_k, vdd_v, vth_v
+            )
+            if best is None or delay < best.delay_ns:
+                best = RepeaterDesign(
+                    layer_name=self.layer.name,
+                    length_um=length_um,
+                    temperature_k=temperature_k,
+                    n_repeaters=n,
+                    repeater_size=h_opt,
+                    delay_ns=delay,
+                )
+        assert best is not None
+        return best
+
+    def speedup(
+        self,
+        length_um: float,
+        temperature_k: float,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> float:
+        """Delay(300 K, nominal) / delay(T, V): > 1 means faster at T.
+
+        Both operating points are independently re-optimised, matching
+        the paper's methodology of generating a temperature-optimal
+        design rather than reusing the 300 K repeater placement.
+        """
+        base = self.optimize(length_um, T_ROOM).delay_ns
+        cold = self.optimize(length_um, temperature_k, vdd_v, vth_v).delay_ns
+        return base / cold

@@ -1,0 +1,130 @@
+"""ITRS-style technology-node projection.
+
+The paper validates a 45 nm model against 32/22/14 nm silicon by scaling
+model outputs with the ITRS roadmap's relative transistor and wire delay
+trends (Section 3.2.1). This module encodes those trends: per node we
+carry the relative gate delay and the relative wire RC per unit length,
+normalised to 45 nm. Wire RC grows as wires shrink (resistance grows
+faster than capacitance falls); transistor delay keeps improving, which
+is exactly why newer nodes are *more* wire-bound and the paper's
+projections shift accordingly.
+
+The key derived quantity is :func:`project_speedup`: a cryogenic
+frequency speed-up predicted by the 45 nm model is re-weighted for the
+wire/transistor delay mix of the target node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ITRSNode:
+    """Relative delay characteristics of one technology node.
+
+    Both fields are normalised to the 45 nm node (value 1.0).
+    """
+
+    name: str
+    feature_nm: int
+    #: Gate (transistor) delay relative to 45 nm; < 1 means faster.
+    gate_delay_rel: float
+    #: Wire RC delay per unit length relative to 45 nm; > 1 means slower.
+    wire_delay_rel: float
+
+    @property
+    def wire_bias(self) -> float:
+        """How much more wire-bound this node is than 45 nm (>1: more)."""
+        return self.wire_delay_rel / self.gate_delay_rel
+
+
+#: ITRS roadmap trend, normalised to 45 nm. Gate delay improves roughly
+#: 0.85x per generation; wire RC per length worsens roughly 1.25x per
+#: generation (thinner, more resistive wires).
+ITRS_ROADMAP: Dict[int, ITRSNode] = {
+    node.feature_nm: node
+    for node in (
+        ITRSNode("45nm", 45, gate_delay_rel=1.00, wire_delay_rel=1.00),
+        ITRSNode("32nm", 32, gate_delay_rel=0.85, wire_delay_rel=1.25),
+        ITRSNode("22nm", 22, gate_delay_rel=0.72, wire_delay_rel=1.56),
+        ITRSNode("14nm", 14, gate_delay_rel=0.61, wire_delay_rel=1.95),
+    )
+}
+
+
+def node(feature_nm: int) -> ITRSNode:
+    """Look up a roadmap node by feature size."""
+    try:
+        return ITRS_ROADMAP[feature_nm]
+    except KeyError:
+        raise KeyError(
+            f"no ITRS entry for {feature_nm} nm; known nodes: "
+            f"{sorted(ITRS_ROADMAP)}"
+        ) from None
+
+
+def project_speedup(
+    speedup_45nm: float,
+    wire_fraction_45nm: float,
+    target_nm: int,
+    *,
+    transistor_speedup: float,
+    wire_speedup: float,
+    rebalance: float = 0.5,
+) -> float:
+    """Project a 45 nm cryogenic speed-up onto another node.
+
+    Parameters
+    ----------
+    speedup_45nm:
+        The frequency speed-up the 45 nm model predicts (used as a
+        consistency cross-check; the projection is rebuilt from the
+        components below).
+    wire_fraction_45nm:
+        Wire share of the critical-path delay in the 45 nm model.
+    target_nm:
+        Feature size of the silicon being predicted.
+    transistor_speedup / wire_speedup:
+        Component speed-ups at the target temperature (from the device
+        models).
+    rebalance:
+        Exponent damping the raw ITRS delay trends. Commercial designs
+        partially re-balance their pipelines as wires worsen (deeper
+        stages, more repeaters, fatter critical wires), so only part of
+        the roadmap's wire-delay growth reaches the critical path; 0.5
+        applies the square root of each trend, 1.0 the raw roadmap, 0
+        no projection at all.
+
+    Returns
+    -------
+    The projected frequency speed-up at the target node: the critical
+    path is re-mixed with the node's (damped) wire bias, then each
+    component is scaled by its cryogenic speed-up.
+    """
+    if not (0.0 <= wire_fraction_45nm <= 1.0):
+        raise ValueError("wire_fraction must lie in [0, 1]")
+    if min(transistor_speedup, wire_speedup) <= 0:
+        raise ValueError("component speed-ups must be positive")
+    if not (0.0 <= rebalance <= 1.0):
+        raise ValueError("rebalance must lie in [0, 1]")
+    target = node(target_nm)
+
+    # Re-mix the critical path for the target node's wire bias.
+    wire_part = wire_fraction_45nm * target.wire_delay_rel**rebalance
+    gate_part = (1.0 - wire_fraction_45nm) * target.gate_delay_rel**rebalance
+    total = wire_part + gate_part
+
+    cold = wire_part / wire_speedup + gate_part / transistor_speedup
+    projected = total / cold
+
+    # Sanity: the projection must bracket sensibly against the 45 nm
+    # number -- more wire-bound nodes benefit more from cryogenic wires.
+    lo, hi = sorted((transistor_speedup, wire_speedup))
+    if not (lo * 0.999 <= projected <= hi * 1.001):
+        raise AssertionError(
+            f"projection {projected:.3f} escaped component bounds "
+            f"[{lo:.3f}, {hi:.3f}] -- check inputs ({speedup_45nm=})"
+        )
+    return projected

@@ -1,0 +1,172 @@
+"""CryoWireModel: the wire-delay facade used by the architecture models.
+
+This is the ``cryo-wire`` box of CC-Model (Fig. 6): given a metal-layer
+specification it produces geometry-aware wire delays at any temperature,
+for both unrepeated (logic-driven) and repeated wires, together with the
+transistor/wire delay decomposition the critical-path analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.tech.constants import T_ROOM
+from repro.tech.metal import FREEPDK45_STACK, OHM_FF_TO_NS, MetalLayer, WireTechnology
+from repro.tech.mosfet import (
+    CryoMOSFET,
+    FREEPDK45_CARD,
+    INDUSTRY_2Z_CARD,
+    MOSFETCard,
+)
+from repro.tech.repeater import RepeaterOptimizer
+
+#: Fixed drive time of the logic gate launching an unrepeated wire, at
+#: 300 K and nominal voltage (ns). Part of the 'transistor' component.
+UNREPEATED_DRIVE_NS = 0.025
+
+#: Receiver load on an unrepeated wire (fF).
+UNREPEATED_LOAD_FF = 2.0
+
+_DW = 0.38  # distributed-wire Elmore coefficient
+_SW = 0.69
+
+
+@dataclass(frozen=True)
+class WireDelayBreakdown:
+    """Delay of one wire split into transistor and wire components (ns)."""
+
+    transistor_ns: float
+    wire_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.transistor_ns + self.wire_ns
+
+    @property
+    def wire_fraction(self) -> float:
+        total = self.total_ns
+        return self.wire_ns / total if total > 0 else 0.0
+
+
+class CryoWireModel:
+    """Evaluate wire delays at arbitrary temperature and voltage.
+
+    Parameters
+    ----------
+    stack:
+        Interconnect stack (defaults to the calibrated 45 nm stack).
+    logic_card:
+        MOSFET card for logic drivers of unrepeated wires and for
+        repeaters on intra-core (local / semi-global) wires.
+    repeater_card:
+        MOSFET card for repeaters on global wires (the paper's industry
+        2z-nm card).
+    """
+
+    def __init__(
+        self,
+        stack: WireTechnology = FREEPDK45_STACK,
+        logic_card: MOSFETCard = FREEPDK45_CARD,
+        repeater_card: MOSFETCard = INDUSTRY_2Z_CARD,
+    ):
+        self.stack = stack
+        self.logic = CryoMOSFET(logic_card)
+        self._optimizers: Dict[str, RepeaterOptimizer] = {}
+        for name, layer in stack.layers.items():
+            card = repeater_card if name == "global" else logic_card
+            self._optimizers[name] = RepeaterOptimizer(layer, card)
+
+    def layer(self, name: str) -> MetalLayer:
+        return self.stack.layer(name)
+
+    def optimizer(self, layer_name: str) -> RepeaterOptimizer:
+        self.stack.layer(layer_name)  # raise on unknown layer
+        return self._optimizers[layer_name]
+
+    # ------------------------------------------------------------------
+    # unrepeated (logic-driven) wires -- intra-core forwarding paths
+    # ------------------------------------------------------------------
+    def unrepeated_breakdown(
+        self,
+        layer_name: str,
+        length_um: float,
+        temperature_k: float = T_ROOM,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+        load_ff: float = UNREPEATED_LOAD_FF,
+    ) -> WireDelayBreakdown:
+        """Delay of a logic-driven, unrepeated wire, decomposed.
+
+        The transistor component is the driving gate's intrinsic delay
+        (scaled by the logic card); the wire component is the distributed
+        RC flight time plus the wire-resistance/receiver-load term.
+        """
+        if length_um < 0:
+            raise ValueError("length must be non-negative")
+        layer = self.stack.layer(layer_name)
+        drive = UNREPEATED_DRIVE_NS * self.logic.gate_delay_factor(
+            temperature_k, vdd_v, vth_v
+        )
+        r = layer.resistance_per_um(temperature_k)
+        c = layer.capacitance_f_per_um
+        flight = _DW * r * c * length_um**2 * OHM_FF_TO_NS
+        load = _SW * r * length_um * load_ff * OHM_FF_TO_NS
+        return WireDelayBreakdown(transistor_ns=drive, wire_ns=flight + load)
+
+    def unrepeated_delay(
+        self,
+        layer_name: str,
+        length_um: float,
+        temperature_k: float = T_ROOM,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> float:
+        return self.unrepeated_breakdown(
+            layer_name, length_um, temperature_k, vdd_v, vth_v
+        ).total_ns
+
+    def unrepeated_speedup(
+        self, layer_name: str, length_um: float, temperature_k: float
+    ) -> float:
+        """Speed-up of an unrepeated wire at ``temperature_k`` vs 300 K."""
+        base = self.unrepeated_delay(layer_name, length_um, T_ROOM)
+        cold = self.unrepeated_delay(layer_name, length_um, temperature_k)
+        return base / cold
+
+    # ------------------------------------------------------------------
+    # repeated wires -- NoC links, long buses
+    # ------------------------------------------------------------------
+    def repeated_delay(
+        self,
+        layer_name: str,
+        length_um: float,
+        temperature_k: float = T_ROOM,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+    ) -> float:
+        """Delay (ns) of a latency-optimally repeated wire."""
+        return (
+            self.optimizer(layer_name)
+            .optimize(length_um, temperature_k, vdd_v, vth_v)
+            .delay_ns
+        )
+
+    def repeated_speedup(
+        self, layer_name: str, length_um: float, temperature_k: float
+    ) -> float:
+        return self.optimizer(layer_name).speedup(length_um, temperature_k)
+
+    # ------------------------------------------------------------------
+    # sweeps for the Fig. 5 analysis
+    # ------------------------------------------------------------------
+    def speedup_sweep(
+        self,
+        layer_name: str,
+        lengths_um: Sequence[float],
+        temperature_k: float,
+        repeated: bool = False,
+    ) -> Dict[float, float]:
+        """Speed-up at ``temperature_k`` for each length in the sweep."""
+        fn = self.repeated_speedup if repeated else self.unrepeated_speedup
+        return {length: fn(layer_name, length, temperature_k) for length in lengths_um}

@@ -1,0 +1,40 @@
+"""Shared utilities: physical units, deterministic RNG, and table formatting."""
+
+from repro.util.units import (
+    GHZ,
+    KELVIN_ROOM,
+    MHZ,
+    MICRON,
+    MM,
+    NM,
+    NS,
+    PS,
+    US,
+    Frequency,
+    cycles_at,
+    delay_to_frequency,
+    frequency_to_period_ns,
+    ns_to_cycles,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import format_table, normalize
+
+__all__ = [
+    "GHZ",
+    "MHZ",
+    "NS",
+    "PS",
+    "US",
+    "MM",
+    "MICRON",
+    "NM",
+    "KELVIN_ROOM",
+    "Frequency",
+    "cycles_at",
+    "delay_to_frequency",
+    "frequency_to_period_ns",
+    "ns_to_cycles",
+    "make_rng",
+    "format_table",
+    "normalize",
+]

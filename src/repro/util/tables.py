@@ -1,0 +1,66 @@
+"""Lightweight table formatting and normalisation helpers.
+
+The experiment drivers print the same rows/series the paper reports;
+these helpers keep that output consistent without pulling in a
+table-rendering dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def normalize(values: Mapping[str, Number], reference: str) -> Dict[str, float]:
+    """Normalise a mapping of values to the entry named ``reference``.
+
+    This mirrors how the paper reports nearly every result ("normalized to
+    300K Mesh", "normalized to CHP-core (77K, Mesh)", ...).
+    """
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not in values {sorted(values)}")
+    ref = float(values[reference])
+    if ref == 0.0:
+        raise ZeroDivisionError(f"reference entry {reference!r} is zero")
+    return {key: float(value) / ref for key, value in values.items()}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_format``; everything else uses
+    ``str``. Column widths adapt to content.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, bool):
+                rendered.append(str(cell))
+            elif isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = [fmt_line(headers), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)

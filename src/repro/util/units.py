@@ -1,0 +1,114 @@
+"""Physical units and conversions used throughout the models.
+
+All internal model code uses a consistent unit system:
+
+* time in nanoseconds (``NS``), with ``PS`` available for readability;
+* length in micrometres (``MICRON``), with ``MM``/``NM`` helpers;
+* frequency in gigahertz (``GHZ``);
+* temperature in kelvin.
+
+Keeping conversions in one module avoids the classic reproduction bug of
+mixing picoseconds (Design Compiler reports) with nanoseconds (CACTI
+reports).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Time units, expressed in nanoseconds.
+NS = 1.0
+PS = 1e-3
+US = 1e3
+
+# Length units, expressed in micrometres.
+MICRON = 1.0
+MM = 1e3
+NM = 1e-3
+
+# Frequency units, expressed in gigahertz (1/ns).
+GHZ = 1.0
+MHZ = 1e-3
+
+# Reference temperatures (kelvin).
+KELVIN_ROOM = 300.0
+KELVIN_LN2 = 77.0
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock frequency with convenience accessors.
+
+    The class is intentionally tiny: it exists so that model outputs can
+    say ``Frequency(4.0)`` (GHz) rather than a bare float whose unit the
+    reader has to guess.
+    """
+
+    gigahertz: float
+
+    def __post_init__(self) -> None:
+        if self.gigahertz <= 0.0:
+            raise ValueError(f"frequency must be positive, got {self.gigahertz}")
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1.0 / self.gigahertz
+
+    @property
+    def period_ps(self) -> float:
+        """Clock period in picoseconds."""
+        return 1e3 / self.gigahertz
+
+    @classmethod
+    def from_period_ns(cls, period_ns: float) -> "Frequency":
+        if period_ns <= 0.0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        return cls(1.0 / period_ns)
+
+    def scaled(self, factor: float) -> "Frequency":
+        """Return this frequency multiplied by ``factor``."""
+        return Frequency(self.gigahertz * factor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.gigahertz:.3g} GHz"
+
+
+def delay_to_frequency(delay_ns: float) -> float:
+    """Maximum clock frequency (GHz) for a critical-path delay in ns."""
+    if delay_ns <= 0.0:
+        raise ValueError(f"delay must be positive, got {delay_ns}")
+    return 1.0 / delay_ns
+
+
+def frequency_to_period_ns(freq_ghz: float) -> float:
+    """Clock period in ns for a frequency in GHz."""
+    if freq_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return 1.0 / freq_ghz
+
+
+def ns_to_cycles(latency_ns: float, freq_ghz: float) -> int:
+    """Round a latency up to whole clock cycles at ``freq_ghz``.
+
+    This is how a synchronous consumer observes an asynchronous latency:
+    a 0.26 ns wire at 4 GHz costs two cycles, not 1.04.
+    """
+    if latency_ns < 0.0:
+        raise ValueError(f"latency must be non-negative, got {latency_ns}")
+    if latency_ns == 0.0:
+        return 0
+    cycles = latency_ns * freq_ghz
+    # Guard against float fuzz turning an exact integer into n+1 cycles.
+    nearest = round(cycles)
+    if math.isclose(cycles, nearest, rel_tol=1e-9, abs_tol=1e-12):
+        return max(int(nearest), 1)
+    return max(int(math.ceil(cycles)), 1)
+
+
+def cycles_at(latency_ns: float, freq_ghz: float) -> float:
+    """Latency expressed in (fractional) cycles at ``freq_ghz``."""
+    if latency_ns < 0.0:
+        raise ValueError(f"latency must be non-negative, got {latency_ns}")
+    return latency_ns * freq_ghz

@@ -1,0 +1,151 @@
+"""Synthetic 135 K frequency-measurement campaign (Table 2 / Fig. 8).
+
+Each :class:`CpuRig` describes one of the paper's test machines. The
+campaign reproduces the measurement procedure: raise the clock in BIOS
+steps until booting fails, at 300 K and at 135 K, for the core domain
+(pipeline) and the uncore domain (router + L3).
+
+The silicon's "true" cryogenic speed-up is generated from a path that is
+*independent* of the CC-Model pipeline/router machinery: per-node wire
+and transistor temperature responses (ITRS-projected) combined with each
+domain's wire-delay share, plus per-rig systematic offsets and
+measurement noise. The models are then judged against these synthetic
+measurements in :mod:`repro.validation.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.tech.constants import T_ROOM
+from repro.util.rng import make_rng
+
+#: BIOS frequency step of the overclocking procedure (GHz).
+FREQUENCY_STEP_GHZ = 0.1
+
+
+@dataclass(frozen=True)
+class CpuRig:
+    """One validation machine (a Table 2 row)."""
+
+    technology_nm: int
+    microarchitecture: str
+    model_name: str
+    mainboard: str
+    base_core_ghz: float
+    base_uncore_ghz: float
+    #: Wire share of the core-domain critical path at this node.
+    core_wire_fraction: float
+    #: Wire share of the router critical path (routers are logic-bound).
+    uncore_wire_fraction: float
+
+
+#: Table 2: the three LN2-cooled machines. Wire fractions rise slowly
+#: with newer nodes (re-balanced designs absorb most of the roadmap's
+#: wire-delay growth).
+VALIDATION_RIGS: Tuple[CpuRig, ...] = (
+    CpuRig(32, "Sandy Bridge", "i7-2700K", "GA-Z77X-UD3H",
+           base_core_ghz=3.5, base_uncore_ghz=3.4,
+           core_wire_fraction=0.10, uncore_wire_fraction=0.045),
+    CpuRig(22, "Haswell", "i7-4790K", "GA-Z97X-UD5H",
+           base_core_ghz=4.0, base_uncore_ghz=4.0,
+           core_wire_fraction=0.11, uncore_wire_fraction=0.050),
+    CpuRig(14, "Skylake", "i5-6600K", "GA-Z170X-Gaming 7",
+           base_core_ghz=3.5, base_uncore_ghz=3.6,
+           core_wire_fraction=0.12, uncore_wire_fraction=0.055),
+)
+
+
+@dataclass(frozen=True)
+class FrequencyMeasurement:
+    """Outcome of one boot-until-failure frequency search."""
+
+    temperature_k: float
+    last_success_ghz: float
+    first_fail_ghz: float
+
+    @property
+    def max_stable_ghz(self) -> float:
+        return self.last_success_ghz
+
+
+def _true_silicon_speedup(
+    rig: CpuRig, temperature_k: float, wire_fraction: float
+) -> float:
+    """'Ground truth' cryogenic speed-up of one clock domain.
+
+    Independent generation path: wire delay follows the measured copper
+    resistivity trend (roughly linear in T down to the residual floor),
+    transistors gain a few percent per 100 K of cooling. The domain's
+    critical-path wire share is taken from the rig description directly
+    (commercial designs keep it modest by re-balancing their pipelines),
+    NOT from the CC-Model machinery under test.
+    """
+    t_fraction = (T_ROOM - temperature_k) / T_ROOM
+    # Copper above ~100 K: wire resistance falls roughly linearly in T
+    # towards the residual floor (~2x faster at 135 K for mid-stack wires).
+    wire_speedup = 1.0 / max(1.0 - 0.91 * t_fraction, 0.30)
+    transistor_speedup = 1.0 + 0.118 * t_fraction
+
+    cold = wire_fraction / wire_speedup + (1.0 - wire_fraction) / transistor_speedup
+    return 1.0 / cold
+
+
+class MeasurementCampaign:
+    """Run the synthetic boot-until-failure procedure on the rigs."""
+
+    def __init__(self, seed: str = "ln2-rig"):
+        self._rng = make_rng(seed)
+
+    def _measure(
+        self, base_ghz: float, speedup: float, noise_sd: float = 0.02
+    ) -> FrequencyMeasurement:
+        true_max = base_ghz * speedup * (1.0 + self._rng.normal(0.0, noise_sd))
+        # Boot-failure quantisation: the last BIOS step at or below the
+        # true maximum succeeds, the next one fails.
+        steps = int(true_max / FREQUENCY_STEP_GHZ)
+        last_success = steps * FREQUENCY_STEP_GHZ
+        return FrequencyMeasurement(
+            temperature_k=0.0,  # overwritten by callers below
+            last_success_ghz=last_success,
+            first_fail_ghz=last_success + FREQUENCY_STEP_GHZ,
+        )
+
+    def measure_domain(
+        self, rig: CpuRig, temperature_k: float, domain: str
+    ) -> FrequencyMeasurement:
+        """Measure one clock domain of one rig at one temperature."""
+        if domain == "core":
+            base, wire_fraction = rig.base_core_ghz, rig.core_wire_fraction
+        elif domain == "uncore":
+            base, wire_fraction = rig.base_uncore_ghz, rig.uncore_wire_fraction
+        else:
+            raise ValueError("domain must be 'core' or 'uncore'")
+        speedup = (
+            1.0
+            if temperature_k >= T_ROOM
+            else _true_silicon_speedup(rig, temperature_k, wire_fraction)
+        )
+        raw = self._measure(base, speedup)
+        return FrequencyMeasurement(
+            temperature_k=temperature_k,
+            last_success_ghz=raw.last_success_ghz,
+            first_fail_ghz=raw.first_fail_ghz,
+        )
+
+    def measured_speedup(
+        self, rig: CpuRig, temperature_k: float, domain: str
+    ) -> Dict[str, float]:
+        """Speed-up at ``temperature_k`` vs 300 K with error bounds.
+
+        Mirrors Fig. 9's error bars: the ratio of last-success (and
+        first-fail) frequencies across the two temperatures.
+        """
+        warm = self.measure_domain(rig, T_ROOM, domain)
+        cold = self.measure_domain(rig, temperature_k, domain)
+        return {
+            "speedup": cold.max_stable_ghz / warm.max_stable_ghz,
+            "upper": cold.first_fail_ghz / warm.max_stable_ghz,
+            "lower": cold.max_stable_ghz / warm.first_fail_ghz,
+        }

@@ -1,0 +1,74 @@
+"""Stride-prefetcher traffic model (the Fig. 24 stress scenario).
+
+Section 7.1 stresses CryoBus by running 64 SPEC copies with an
+"inefficient" aggressive stride prefetcher that issues prefetches even on
+cache hits, multiplying shared-bus traffic. The model here converts a
+workload profile into the amplified NoC request rate: every demand L2
+miss still goes out, and on top of that the prefetcher emits requests
+proportional to the L1 access stream (hit-triggered) and to the miss
+stream (miss-triggered), scaled by its aggressiveness and accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class StridePrefetcher:
+    """An aggressive stride prefetcher's traffic behaviour.
+
+    Parameters
+    ----------
+    degree:
+        Prefetches issued per triggering event.
+    hit_trigger_rate:
+        Fraction of L1 *hits* that trigger prefetches (the paper's
+        'activated even at the cache hits' configuration makes this
+        non-zero; a sane prefetcher would keep it at 0).
+    useful_fraction:
+        Fraction of prefetches that actually eliminate a later demand
+        miss (low for the intentionally inefficient configuration).
+    """
+
+    degree: int = 1
+    hit_trigger_rate: float = 0.004
+    useful_fraction: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        if not (0.0 <= self.hit_trigger_rate <= 1.0):
+            raise ValueError("hit_trigger_rate out of [0, 1]")
+        if not (0.0 <= self.useful_fraction <= 1.0):
+            raise ValueError("useful_fraction out of [0, 1]")
+
+    def prefetch_pki(self, profile: WorkloadProfile) -> float:
+        """Prefetch requests per kilo-instruction for ``profile``.
+
+        L1 accesses are approximated as one third of instructions
+        (typical load/store density), so hits per KI ~= 333 - l1d_mpki.
+        """
+        l1_accesses_pki = 1000.0 / 3.0
+        hits_pki = max(l1_accesses_pki - profile.l1d_mpki, 0.0)
+        triggers = hits_pki * self.hit_trigger_rate + profile.l2_mpki
+        return triggers * self.degree
+
+    def noc_requests_pki(self, profile: WorkloadProfile) -> float:
+        """Total NoC requests per KI: demand misses plus prefetches.
+
+        Useful prefetches convert a demand miss into a prefetch (no
+        traffic change); useless ones are pure added traffic, which is
+        what makes this scenario a bandwidth stress test.
+        """
+        return profile.l2_mpki + self.prefetch_pki(profile)
+
+    def effective_l2_mpki(self, profile: WorkloadProfile) -> float:
+        """Demand L2 misses left after useful prefetches land."""
+        covered = min(
+            profile.l2_mpki,
+            self.prefetch_pki(profile) * self.useful_fraction,
+        )
+        return profile.l2_mpki - covered

@@ -1,0 +1,109 @@
+"""Synthetic trace generation from workload profiles.
+
+The cycle-accurate NoC simulator and the coherence protocol engines
+consume concrete request streams. This module expands a
+:class:`WorkloadProfile` into such streams deterministically: memory
+requests arrive as a Bernoulli process at the profile's injection rate,
+addresses follow a shared/private split matching ``sharing_fraction``,
+and barrier episodes appear at the profile's barrier rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.util.rng import make_rng
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One request a core sends towards the shared L3 / other cores."""
+
+    cycle: int
+    core: int
+    address: int
+    is_write: bool
+    is_shared: bool
+
+
+class SyntheticTraceGenerator:
+    """Deterministic request-stream synthesis for one workload.
+
+    Parameters
+    ----------
+    profile:
+        Workload being synthesised.
+    n_cores:
+        Number of cores injecting.
+    ipc:
+        Assumed instructions per cycle (converts MPKI to packets/cycle).
+    seed:
+        RNG label; same (profile, seed) always yields the same trace.
+    """
+
+    #: Address-space shaping: line granularity and pool sizes.
+    LINE_BYTES = 64
+    PRIVATE_LINES_PER_CORE = 4096
+    SHARED_LINES = 8192
+    WRITE_FRACTION = 0.3
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        n_cores: int = 64,
+        ipc: float = 1.0,
+        seed: Optional[str] = None,
+    ):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.profile = profile
+        self.n_cores = n_cores
+        self.ipc = ipc
+        self.rate = profile.injection_rate(ipc)
+        self._rng = make_rng(seed or profile.name, stream="trace")
+
+    def _address(self, core: int, shared: bool) -> int:
+        if shared:
+            line = int(self._rng.integers(0, self.SHARED_LINES))
+            return line * self.LINE_BYTES
+        base = (1 + core) * self.SHARED_LINES * self.LINE_BYTES
+        line = int(self._rng.integers(0, self.PRIVATE_LINES_PER_CORE))
+        return base + line * self.LINE_BYTES
+
+    def requests(self, n_cycles: int) -> Iterator[MemoryRequest]:
+        """Yield requests for ``n_cycles`` of execution, cycle-ordered."""
+        if n_cycles < 1:
+            raise ValueError("n_cycles must be positive")
+        rng = self._rng
+        share = self.profile.sharing_fraction
+        for cycle in range(n_cycles):
+            # One Bernoulli draw per core per cycle keeps the stream
+            # exactly at the profile's injection rate in expectation.
+            fires = rng.random(self.n_cores) < self.rate
+            for core in fires.nonzero()[0]:
+                shared = bool(rng.random() < share)
+                yield MemoryRequest(
+                    cycle=cycle,
+                    core=int(core),
+                    address=self._address(int(core), shared),
+                    is_write=bool(rng.random() < self.WRITE_FRACTION),
+                    is_shared=shared,
+                )
+
+    def barrier_cycles(self, n_cycles: int) -> Iterator[int]:
+        """Cycles at which a global barrier episode occurs."""
+        # barriers per cycle = barrier_pki / 1000 * ipc (per core, but a
+        # barrier is a global event; use the per-core rate directly).
+        rate = self.profile.barrier_pki / 1000.0 * self.ipc
+        if rate <= 0:
+            return
+        rng = make_rng(self.profile.name, stream="barriers")
+        cycle = 0
+        while True:
+            gap = rng.geometric(min(rate, 1.0))
+            cycle += int(gap)
+            if cycle >= n_cycles:
+                return
+            yield cycle

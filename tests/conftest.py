@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.superpipeline import SuperpipelineTransform
+from repro.pipeline.model import PipelineModel
+from repro.tech.mosfet import CryoMOSFET, FREEPDK45_CARD, INDUSTRY_2Z_CARD
+from repro.tech.wire import CryoWireModel
+
+
+@pytest.fixture(scope="session")
+def wire_model() -> CryoWireModel:
+    return CryoWireModel()
+
+
+@pytest.fixture(scope="session")
+def logic_mosfet() -> CryoMOSFET:
+    return CryoMOSFET(FREEPDK45_CARD)
+
+
+@pytest.fixture(scope="session")
+def industry_mosfet() -> CryoMOSFET:
+    return CryoMOSFET(INDUSTRY_2Z_CARD)
+
+
+@pytest.fixture(scope="session")
+def pipeline_model() -> PipelineModel:
+    return PipelineModel()
+
+
+@pytest.fixture(scope="session")
+def transform(pipeline_model: PipelineModel) -> SuperpipelineTransform:
+    return SuperpipelineTransform(pipeline_model)

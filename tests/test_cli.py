@@ -1,0 +1,43 @@
+"""The ``cryowire`` CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+
+class TestRun:
+    def test_runs_a_fast_experiment(self, capsys):
+        assert main(["run", "fig20"]) == 0
+        out = capsys.readouterr().out
+        assert "cryobus" in out
+        assert "broadcast" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "forwarding_wire_8wide" in out
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_prints_anchor_summary(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+        assert "median |diff|" in out
+        assert "CryoSP frequency" in out

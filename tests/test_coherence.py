@@ -1,0 +1,166 @@
+"""Coherence protocol engines: directory MESI vs snooping MSI."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.coherence import (
+    DirectoryProtocol,
+    MODIFIED,
+    SHARED,
+    SnoopingProtocol,
+)
+
+PROTOCOLS = (DirectoryProtocol, SnoopingProtocol)
+
+
+@pytest.fixture(params=PROTOCOLS, ids=["directory", "snoop"])
+def protocol(request):
+    return request.param(n_cores=4)
+
+
+LINE = 0x4000
+
+
+class TestBasicOperation:
+    def test_read_installs_shared(self, protocol):
+        protocol.read(0, LINE)
+        assert protocol.holders(LINE) == {0: SHARED}
+
+    def test_write_installs_modified(self, protocol):
+        protocol.write(0, LINE)
+        assert protocol.holders(LINE) == {0: MODIFIED}
+
+    def test_second_read_is_hit(self, protocol):
+        protocol.read(0, LINE)
+        before = protocol.stats.hits
+        protocol.read(0, LINE)
+        assert protocol.stats.hits == before + 1
+
+    def test_write_invalidates_readers(self, protocol):
+        protocol.read(0, LINE)
+        protocol.read(1, LINE)
+        protocol.write(2, LINE)
+        holders = protocol.holders(LINE)
+        assert holders == {2: MODIFIED}
+        assert protocol.stats.invalidations >= 2
+
+    def test_read_downgrades_writer(self, protocol):
+        protocol.write(0, LINE)
+        protocol.read(1, LINE)
+        holders = protocol.holders(LINE)
+        assert holders[0] == SHARED and holders[1] == SHARED
+        assert protocol.stats.cache_to_cache == 1
+
+    def test_data_value_invariant(self, protocol):
+        """A read observes the most recent write's version."""
+        v1 = protocol.write(0, LINE)
+        assert protocol.read(1, LINE) == v1
+        v2 = protocol.write(2, LINE)
+        assert v2 > v1
+        assert protocol.read(3, LINE) == v2
+
+    def test_write_hit_in_modified_state(self, protocol):
+        protocol.write(0, LINE)
+        before = protocol.stats.traversals
+        protocol.write(0, LINE)
+        assert protocol.stats.traversals == before  # silent upgrade
+
+    def test_validates_core_index(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.read(9, LINE)
+
+    def test_validates_address(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.write(0, -64)
+
+
+class TestProtocolCosts:
+    def test_directory_pays_indirection_for_dirty_remote(self):
+        directory = DirectoryProtocol(4)
+        snoop = SnoopingProtocol(4)
+        for protocol in (directory, snoop):
+            protocol.write(0, LINE)
+            protocol.stats = type(protocol.stats)()  # reset counters
+            protocol.read(1, LINE)
+        # Directory: requestor->home, home->owner, owner->requestor.
+        assert directory.stats.traversals == 3
+        # Snoop: request broadcast + data response.
+        assert snoop.stats.traversals == 2
+
+    def test_snoop_invalidation_is_one_broadcast(self):
+        snoop = SnoopingProtocol(8)
+        for core in range(8):
+            snoop.read(core, LINE)
+        snoop.stats = type(snoop.stats)()
+        snoop.write(0, LINE)
+        assert snoop.stats.traversals == 2  # BusRdX + data
+
+    def test_directory_invalidations_fan_out(self):
+        directory = DirectoryProtocol(8)
+        for core in range(8):
+            directory.read(core, LINE)
+        directory.stats = type(directory.stats)()
+        directory.write(0, LINE)
+        assert directory.stats.invalidations == 7
+        assert directory.stats.traversals >= 7
+
+    def test_stats_merge(self):
+        a = DirectoryProtocol(2)
+        a.read(0, LINE)
+        snapshot = a.stats
+        other = type(snapshot)(reads=2, traversals=5)
+        snapshot.merge(other)
+        assert snapshot.reads == 3
+        assert snapshot.traversals >= 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write"]),
+            st.integers(0, 3),          # core
+            st.integers(0, 7),           # line index
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    protocol_cls=st.sampled_from(PROTOCOLS),
+)
+def test_swmr_invariant_under_random_streams(ops, protocol_cls):
+    """Single-writer/multiple-reader holds for arbitrary interleavings."""
+    protocol = protocol_cls(n_cores=4)
+    touched = set()
+    for op, core, line_idx in ops:
+        address = line_idx * 64
+        touched.add(address)
+        getattr(protocol, op)(core, address)
+        protocol.check_invariants(address)
+    for address in touched:
+        protocol.check_invariants(address)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write"]),
+            st.integers(0, 3),
+            st.integers(0, 3),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    protocol_cls=st.sampled_from(PROTOCOLS),
+)
+def test_reads_see_latest_version(ops, protocol_cls):
+    """Data-value invariant: every read returns the last written version."""
+    protocol = protocol_cls(n_cores=4)
+    latest = {}
+    for op, core, line_idx in ops:
+        address = line_idx * 64
+        if op == "write":
+            latest[address] = protocol.write(core, address)
+        else:
+            version = protocol.read(core, address)
+            assert version == latest.get(address, 0)

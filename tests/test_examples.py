@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run end to end."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples fast enough to execute wholesale in the test suite.
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "pipeline_exploration.py",
+    "coherence_traffic.py",
+    "detailed_mode.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200  # produced a real report, not a stub
+
+
+def test_noc_design_study_functions(capsys):
+    """Run the NoC study's cheap sections (the sweep is bench-sized)."""
+    module = runpy.run_path(str(EXAMPLES_DIR / "noc_design_study.py"))
+    module["show_dynamic_link_connection"]()
+    module["power_bill"]()
+    out = capsys.readouterr().out
+    assert "worst-case broadcast: 12 hops" in out
+    assert "CryoBus" in out
+
+
+def test_reproduce_paper_subset(capsys):
+    module = runpy.run_path(str(EXAMPLES_DIR / "reproduce_paper.py"))
+    assert module["main"](["fig20", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig20" in out and "table1" in out
+
+    assert module["main"](["not_an_experiment"]) == 1
+
+
+def test_quickstart_tells_the_whole_story(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for marker in ("Devices at 77 K", "critical path", "CryoSP", "CryoBus",
+                   "vs 300 K baseline"):
+        assert marker.lower() in out.lower()

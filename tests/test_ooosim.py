@@ -1,0 +1,135 @@
+"""Cycle-level out-of-order core simulation."""
+
+import statistics
+
+import pytest
+
+from repro.core.ipc import IPCModel
+from repro.core.ooosim import (
+    OooCoreSimulator,
+    SyntheticInstructionStream,
+    L3_MISS_LATENCY,
+)
+from repro.pipeline.config import CoreConfig, CRYO_CORE_CONFIG, SKYLAKE_CONFIG
+from repro.workloads.profiles import PARSEC_2_1, by_name
+
+N_INSTR = 8000
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return OooCoreSimulator(SKYLAKE_CONFIG)
+
+
+class TestStreamGeneration:
+    def test_deterministic(self):
+        profile = by_name("canneal")
+        a = SyntheticInstructionStream(profile, seed="s").generate(500)
+        b = SyntheticInstructionStream(profile, seed="s").generate(500)
+        assert a == b
+
+    def test_sources_precede_consumers(self):
+        stream = SyntheticInstructionStream(by_name("ferret")).generate(2000)
+        for idx, instr in enumerate(stream):
+            assert instr.src1 < idx
+            assert instr.src2 < idx
+
+    def test_miss_tiers_match_profile(self):
+        profile = by_name("canneal")
+        stream = SyntheticInstructionStream(profile).generate(40_000)
+        dram = sum(1 for i in stream if i.latency == L3_MISS_LATENCY)
+        assert dram / 40.0 == pytest.approx(profile.l3_mpki, rel=0.35)
+
+    def test_mispredict_rate_matches_profile(self):
+        profile = by_name("x264")
+        stream = SyntheticInstructionStream(profile).generate(40_000)
+        mispredicts = sum(i.is_branch_mispredict for i in stream)
+        assert mispredicts / 40.0 == pytest.approx(profile.restarts_pki, rel=0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SyntheticInstructionStream(by_name("x264")).generate(0)
+
+
+class TestScheduler:
+    def test_ipc_bounded_by_width(self, baseline):
+        assert baseline.ipc(by_name("blackscholes"), N_INSTR) <= 8.0
+
+    def test_all_instructions_retire(self, baseline):
+        stream = SyntheticInstructionStream(by_name("vips")).generate(2000)
+        result = baseline.run(stream)
+        assert result.instructions == 2000
+
+    def test_serial_chain_is_ipc_one(self, baseline):
+        from repro.core.ooosim import _Instr
+
+        chain = [_Instr(i - 1, -1, 1, False) for i in range(400)]
+        result = baseline.run(chain)
+        assert result.ipc == pytest.approx(1.0, rel=0.1)
+
+    def test_independent_stream_hits_width(self):
+        from repro.core.ooosim import _Instr
+
+        independent = [_Instr(-1, -1, 1, False) for _ in range(4000)]
+        result = OooCoreSimulator(SKYLAKE_CONFIG).run(independent)
+        assert result.ipc == pytest.approx(8.0, rel=0.05)
+
+    def test_tiny_window_throttles_long_misses(self):
+        from repro.core.ooosim import _Instr
+
+        # Every 50th instruction is a DRAM miss; a tiny ROB must stall.
+        stream = [
+            _Instr(-1, -1, L3_MISS_LATENCY if i % 50 == 0 else 1, False)
+            for i in range(4000)
+        ]
+        big = OooCoreSimulator(SKYLAKE_CONFIG).run(stream).ipc
+        tiny_cfg = CoreConfig(
+            "tiny", 8, 14, 72, 56, 97, rob_size=16, int_regs=180, fp_regs=168
+        )
+        tiny = OooCoreSimulator(tiny_cfg).run(stream).ipc
+        assert tiny < big * 0.6
+
+    def test_mispredicts_cost_depth(self, baseline):
+        from repro.core.ooosim import _Instr
+
+        stream = [
+            _Instr(-1, -1, 1, i % 100 == 0) for i in range(4000)
+        ]
+        shallow = OooCoreSimulator(SKYLAKE_CONFIG).run(stream).ipc
+        deep_cfg = SKYLAKE_CONFIG.deepened(10)
+        deep = OooCoreSimulator(deep_cfg).run(stream).ipc
+        assert deep < shallow
+
+    def test_rejects_empty_stream(self, baseline):
+        with pytest.raises(ValueError):
+            baseline.run([])
+
+
+class TestAgainstAnalyticModel:
+    """The cycle-level core must confirm the Table 3 IPC sensitivities."""
+
+    def test_superpipelining_cost_confirmed(self):
+        rels = []
+        for profile in PARSEC_2_1[:6]:
+            sim = OooCoreSimulator(SKYLAKE_CONFIG.deepened(3))
+            rels.append(sim.relative_ipc(SKYLAKE_CONFIG, profile, N_INSTR))
+        mean = statistics.mean(rels)
+        analytic = IPCModel().mean_relative_ipc(
+            SKYLAKE_CONFIG.deepened(3), SKYLAKE_CONFIG, PARSEC_2_1[:6]
+        )
+        assert mean == pytest.approx(analytic, abs=0.03)
+        assert mean < 1.0
+
+    def test_cryocore_sizing_cost_confirmed(self):
+        rels = []
+        for profile in PARSEC_2_1[:6]:
+            sim = OooCoreSimulator(CRYO_CORE_CONFIG)
+            rels.append(sim.relative_ipc(SKYLAKE_CONFIG, profile, N_INSTR))
+        mean = statistics.mean(rels)
+        assert 0.88 < mean < 0.99  # analytic: ~0.93
+
+    def test_branchier_workloads_pay_more_for_depth(self):
+        deep = OooCoreSimulator(SKYLAKE_CONFIG.deepened(3))
+        tame = deep.relative_ipc(SKYLAKE_CONFIG, by_name("blackscholes"), N_INSTR)
+        branchy = deep.relative_ipc(SKYLAKE_CONFIG, by_name("x264"), N_INSTR)
+        assert branchy < tame

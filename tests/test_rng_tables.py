@@ -1,0 +1,66 @@
+"""Deterministic RNG helpers and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.tables import format_table, normalize
+
+
+class TestMakeRng:
+    def test_default_is_deterministic(self):
+        a = make_rng().random(8)
+        b = make_rng().random(8)
+        assert np.array_equal(a, b)
+
+    def test_integer_seed_changes_stream(self):
+        assert not np.array_equal(make_rng(1).random(8), make_rng(2).random(8))
+
+    def test_string_seed_is_stable(self):
+        assert np.array_equal(
+            make_rng("canneal").random(4), make_rng("canneal").random(4)
+        )
+
+    def test_streams_are_independent(self):
+        base = make_rng("x").random(4)
+        streamed = make_rng("x", stream="traffic").random(4)
+        assert not np.array_equal(base, streamed)
+
+    def test_same_stream_label_matches(self):
+        a = make_rng("x", stream="s").random(4)
+        b = make_rng("x", stream="s").random(4)
+        assert np.array_equal(a, b)
+
+
+class TestNormalize:
+    def test_normalises_to_reference(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, "z")
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize({"a": 0.0, "b": 1.0}, "a")
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table(("name", "value"), [("mesh", 1.5)])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "mesh" in lines[2] and "1.500" in lines[2]
+
+    def test_width_adapts_to_content(self):
+        text = format_table(("x",), [("a-very-long-cell",)])
+        assert "a-very-long-cell" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_custom_float_format(self):
+        text = format_table(("v",), [(0.123456,)], float_format="{:.1f}")
+        assert "0.1" in text

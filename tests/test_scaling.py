@@ -1,0 +1,81 @@
+"""ITRS node projection."""
+
+import pytest
+
+from repro.tech.scaling import ITRS_ROADMAP, node, project_speedup
+
+
+class TestRoadmap:
+    def test_known_nodes(self):
+        assert set(ITRS_ROADMAP) == {45, 32, 22, 14}
+
+    def test_gate_delay_improves(self):
+        delays = [node(n).gate_delay_rel for n in (45, 32, 22, 14)]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_wire_delay_worsens(self):
+        delays = [node(n).wire_delay_rel for n in (45, 32, 22, 14)]
+        assert delays == sorted(delays)
+
+    def test_wire_bias_grows(self):
+        biases = [node(n).wire_bias for n in (45, 32, 22, 14)]
+        assert biases == sorted(biases)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError, match="known nodes"):
+            node(7)
+
+
+class TestProjectSpeedup:
+    def test_identity_at_45nm(self):
+        projected = project_speedup(
+            1.2, 0.3, 45, transistor_speedup=1.08, wire_speedup=2.0
+        )
+        expected = 1.0 / (0.3 / 2.0 + 0.7 / 1.08)
+        assert projected == pytest.approx(expected)
+
+    def test_wire_bound_nodes_benefit_more(self):
+        kwargs = dict(transistor_speedup=1.08, wire_speedup=2.5)
+        at_45 = project_speedup(1.2, 0.3, 45, **kwargs)
+        at_14 = project_speedup(1.2, 0.3, 14, **kwargs)
+        assert at_14 > at_45
+
+    def test_rebalance_damps_projection(self):
+        kwargs = dict(transistor_speedup=1.08, wire_speedup=2.5)
+        raw = project_speedup(1.2, 0.3, 14, rebalance=1.0, **kwargs)
+        damped = project_speedup(1.2, 0.3, 14, rebalance=0.5, **kwargs)
+        none = project_speedup(1.2, 0.3, 14, rebalance=0.0, **kwargs)
+        assert none < damped < raw
+
+    def test_bounded_by_component_speedups(self):
+        projected = project_speedup(
+            1.2, 0.5, 14, transistor_speedup=1.05, wire_speedup=3.0
+        )
+        assert 1.05 <= projected <= 3.0
+
+    def test_pure_wire_path(self):
+        projected = project_speedup(
+            3.0, 1.0, 22, transistor_speedup=1.08, wire_speedup=3.0
+        )
+        assert projected == pytest.approx(3.0)
+
+    def test_pure_gate_path(self):
+        projected = project_speedup(
+            1.08, 0.0, 22, transistor_speedup=1.08, wire_speedup=3.0
+        )
+        assert projected == pytest.approx(1.08)
+
+    def test_rejects_bad_wire_fraction(self):
+        with pytest.raises(ValueError):
+            project_speedup(1.2, 1.5, 14, transistor_speedup=1.1, wire_speedup=2.0)
+
+    def test_rejects_bad_components(self):
+        with pytest.raises(ValueError):
+            project_speedup(1.2, 0.5, 14, transistor_speedup=0.0, wire_speedup=2.0)
+
+    def test_rejects_bad_rebalance(self):
+        with pytest.raises(ValueError):
+            project_speedup(
+                1.2, 0.5, 14,
+                transistor_speedup=1.1, wire_speedup=2.0, rebalance=2.0,
+            )

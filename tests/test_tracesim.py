@@ -1,0 +1,77 @@
+"""Trace-driven coherent multicore simulation."""
+
+import pytest
+
+from repro.system.config import CHP_77K_CRYOBUS, CHP_77K_MESH
+from repro.system.multicore import MulticoreSystem
+from repro.system.tracesim import TraceDrivenSimulator
+from repro.workloads.profiles import by_name
+
+
+@pytest.fixture(scope="module")
+def mesh_sim():
+    return TraceDrivenSimulator(CHP_77K_MESH, n_cores=16)
+
+
+@pytest.fixture(scope="module")
+def bus_sim():
+    return TraceDrivenSimulator(CHP_77K_CRYOBUS, n_cores=16)
+
+
+class TestBasics:
+    def test_result_accounting(self, mesh_sim):
+        result = mesh_sim.run(by_name("canneal"), n_cycles=8000)
+        assert result.n_cores == 16
+        assert result.cycles == 16 * 8000
+        assert 0.0 < result.ipc < 2.0
+
+    def test_protocol_matches_fabric(self, mesh_sim, bus_sim):
+        from repro.memory.coherence import DirectoryProtocol, SnoopingProtocol
+
+        assert isinstance(mesh_sim._protocol(), DirectoryProtocol)
+        assert isinstance(bus_sim._protocol(), SnoopingProtocol)
+
+    def test_deterministic(self, mesh_sim):
+        a = mesh_sim.run(by_name("ferret"), n_cycles=6000, seed="t")
+        b = mesh_sim.run(by_name("ferret"), n_cycles=6000, seed="t")
+        assert a.ipc == b.ipc
+        assert vars(a.protocol_stats) == vars(b.protocol_stats)
+
+    def test_memory_bound_workload_slower(self, mesh_sim):
+        heavy = mesh_sim.run(by_name("canneal"), n_cycles=8000)
+        light = mesh_sim.run(by_name("blackscholes"), n_cycles=8000)
+        assert heavy.ipc < light.ipc
+
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError):
+            TraceDrivenSimulator(CHP_77K_MESH, n_cores=1)
+        with pytest.raises(ValueError):
+            TraceDrivenSimulator(CHP_77K_MESH).run(by_name("canneal"), n_cycles=10)
+
+
+class TestCrossValidation:
+    """Detailed mode must agree with the analytic CPI model."""
+
+    @pytest.mark.parametrize("workload", ["canneal", "ferret", "blackscholes"])
+    def test_ipc_within_tens_of_percent(self, mesh_sim, workload):
+        trace = mesh_sim.run(by_name(workload), n_cycles=15000)
+        analytic = MulticoreSystem(CHP_77K_MESH).evaluate(by_name(workload))
+        assert trace.ipc == pytest.approx(analytic.ipc, rel=0.40)
+
+    def test_snooping_beats_directory_on_sharing(self, mesh_sim, bus_sim):
+        """The coherence microscopy agrees with the analytic ordering."""
+        profile = by_name("ferret")
+        mesh = mesh_sim.run(profile, n_cycles=12000)
+        bus = bus_sim.run(profile, n_cycles=12000)
+        assert bus.ipc >= mesh.ipc
+
+    def test_sharing_workloads_show_c2c_traffic(self, bus_sim):
+        sharing = bus_sim.run(by_name("streamcluster"), n_cycles=20000)
+        private = bus_sim.run(by_name("blackscholes"), n_cycles=20000)
+        share_rate = sharing.protocol_stats.cache_to_cache / max(
+            sharing.protocol_stats.misses, 1
+        )
+        private_rate = private.protocol_stats.cache_to_cache / max(
+            private.protocol_stats.misses, 1
+        )
+        assert share_rate >= private_rate

@@ -1,0 +1,91 @@
+"""Units and conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    Frequency,
+    cycles_at,
+    delay_to_frequency,
+    frequency_to_period_ns,
+    ns_to_cycles,
+)
+
+
+class TestFrequency:
+    def test_period_of_4ghz(self):
+        assert Frequency(4.0).period_ns == pytest.approx(0.25)
+
+    def test_period_ps(self):
+        assert Frequency(4.0).period_ps == pytest.approx(250.0)
+
+    def test_from_period_roundtrip(self):
+        freq = Frequency.from_period_ns(0.125)
+        assert freq.gigahertz == pytest.approx(8.0)
+
+    def test_scaled(self):
+        assert Frequency(4.0).scaled(1.5).gigahertz == pytest.approx(6.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Frequency(0.0)
+        with pytest.raises(ValueError):
+            Frequency(-1.0)
+
+    def test_from_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Frequency.from_period_ns(0.0)
+
+
+class TestConversions:
+    def test_delay_to_frequency(self):
+        assert delay_to_frequency(0.25) == pytest.approx(4.0)
+
+    def test_frequency_to_period(self):
+        assert frequency_to_period_ns(4.0) == pytest.approx(0.25)
+
+    def test_delay_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            delay_to_frequency(0.0)
+
+    def test_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            frequency_to_period_ns(-4.0)
+
+
+class TestNsToCycles:
+    def test_zero_latency_is_zero_cycles(self):
+        assert ns_to_cycles(0.0, 4.0) == 0
+
+    def test_sub_cycle_rounds_up(self):
+        assert ns_to_cycles(0.1, 4.0) == 1
+
+    def test_exact_boundary_no_spurious_extra_cycle(self):
+        # 0.25 ns at 4 GHz is exactly one cycle despite float fuzz.
+        assert ns_to_cycles(0.25, 4.0) == 1
+        assert ns_to_cycles(0.75, 4.0) == 3
+
+    def test_just_over_boundary(self):
+        assert ns_to_cycles(0.2501, 4.0) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(-0.1, 4.0)
+
+    @given(
+        latency=st.floats(min_value=1e-6, max_value=1e3),
+        freq=st.floats(min_value=0.1, max_value=20.0),
+    )
+    def test_cycles_bound_latency(self, latency, freq):
+        cycles = ns_to_cycles(latency, freq)
+        assert cycles >= 1
+        # Rounding up never undercounts by more than one full cycle.
+        assert cycles * (1.0 / freq) >= latency - 1e-6
+        assert (cycles - 1) * (1.0 / freq) <= latency + 1e-6
+
+    def test_fractional_cycles(self):
+        assert cycles_at(0.5, 4.0) == pytest.approx(2.0)
+
+    def test_fractional_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cycles_at(-1.0, 4.0)

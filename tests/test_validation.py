@@ -1,0 +1,99 @@
+"""Validation package: synthetic rigs and model-vs-measurement checks."""
+
+import pytest
+
+from repro.tech.constants import T_ROOM, T_VALIDATION
+from repro.validation.measurements import (
+    FREQUENCY_STEP_GHZ,
+    MeasurementCampaign,
+    VALIDATION_RIGS,
+)
+from repro.validation.validate import (
+    validate_pipeline_model,
+    validate_router_model,
+    validate_wire_link_model,
+)
+
+
+class TestRigs:
+    def test_table2_inventory(self):
+        nodes = [rig.technology_nm for rig in VALIDATION_RIGS]
+        assert nodes == [32, 22, 14]
+        names = [rig.model_name for rig in VALIDATION_RIGS]
+        assert names == ["i7-2700K", "i7-4790K", "i5-6600K"]
+
+    def test_boards_match_table2(self):
+        assert VALIDATION_RIGS[2].mainboard == "GA-Z170X-Gaming 7"
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return MeasurementCampaign()
+
+    def test_boot_quantisation(self, campaign):
+        measurement = campaign.measure_domain(VALIDATION_RIGS[0], T_ROOM, "core")
+        steps = measurement.last_success_ghz / FREQUENCY_STEP_GHZ
+        assert steps == pytest.approx(round(steps))
+        assert measurement.first_fail_ghz == pytest.approx(
+            measurement.last_success_ghz + FREQUENCY_STEP_GHZ
+        )
+
+    def test_cold_core_runs_faster(self, campaign):
+        rig = VALIDATION_RIGS[-1]
+        warm = campaign.measure_domain(rig, T_ROOM, "core")
+        cold = campaign.measure_domain(rig, T_VALIDATION, "core")
+        assert cold.max_stable_ghz > warm.max_stable_ghz
+
+    def test_core_gains_more_than_uncore(self, campaign):
+        """Wire-richer core domains benefit more from cooling."""
+        rig = VALIDATION_RIGS[-1]
+        core = campaign.measured_speedup(rig, T_VALIDATION, "core")["speedup"]
+        uncore = campaign.measured_speedup(rig, T_VALIDATION, "uncore")["speedup"]
+        assert core > uncore
+
+    def test_error_bars_bracket_measurement(self, campaign):
+        rig = VALIDATION_RIGS[0]
+        measured = campaign.measured_speedup(rig, T_VALIDATION, "core")
+        assert measured["lower"] <= measured["speedup"] <= measured["upper"]
+
+    def test_unknown_domain_raises(self, campaign):
+        with pytest.raises(ValueError):
+            campaign.measure_domain(VALIDATION_RIGS[0], T_ROOM, "gpu")
+
+    def test_deterministic_campaigns(self):
+        a = MeasurementCampaign().measured_speedup(
+            VALIDATION_RIGS[1], T_VALIDATION, "core"
+        )
+        b = MeasurementCampaign().measured_speedup(
+            VALIDATION_RIGS[1], T_VALIDATION, "core"
+        )
+        assert a == b
+
+
+class TestModelValidation:
+    def test_pipeline_prediction_close_to_paper(self):
+        """Paper: model 15.0 % vs measured 12.1 % at 135 K."""
+        validation = validate_pipeline_model()
+        assert validation.predicted_speedup == pytest.approx(1.15, abs=0.03)
+        assert validation.error < 0.06
+
+    def test_router_errors_small(self):
+        for rig in VALIDATION_RIGS:
+            validation = validate_router_model(rig)
+            assert validation.error < 0.06, rig.model_name
+
+    def test_router_prediction_marginal_speedup(self):
+        validation = validate_router_model(VALIDATION_RIGS[-1])
+        assert 1.05 < validation.predicted_speedup < 1.15
+
+    def test_wire_link_fig10(self):
+        """Paper: 3.05x at 77 K, within 1.6 % of Hspice."""
+        validation = validate_wire_link_model()
+        assert validation.predicted_speedup == pytest.approx(3.05, abs=0.2)
+        assert validation.error < 0.05
+
+    def test_wire_link_other_lengths(self):
+        for length in (2.0, 4.0):
+            validation = validate_wire_link_model(length_mm=length)
+            assert validation.error < 0.10

@@ -1,0 +1,173 @@
+"""Workload profiles, prefetcher model, synthetic trace generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.prefetch import StridePrefetcher
+from repro.workloads.profiles import (
+    ALL_SUITES,
+    CLOUDSUITE,
+    PARSEC_2_1,
+    SPEC2006,
+    SPEC2017,
+    WorkloadProfile,
+    by_name,
+    injection_rate_range,
+)
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+
+class TestProfileCatalogue:
+    def test_parsec_has_13_workloads(self):
+        assert len(PARSEC_2_1) == 13
+
+    def test_all_names_unique(self):
+        names = [p.name for suite in ALL_SUITES.values() for p in suite]
+        assert len(names) == len(set(names))
+
+    def test_by_name_finds_across_suites(self):
+        assert by_name("streamcluster").suite == "parsec"
+        assert by_name("mcf").suite == "spec2006"
+        assert by_name("web_search").suite == "cloudsuite"
+
+    def test_by_name_unknown_raises(self):
+        assert pytest.raises(KeyError, by_name, "doom3")
+
+    def test_miss_chain_monotone_for_all(self):
+        for suite in ALL_SUITES.values():
+            for profile in suite:
+                assert profile.l1d_mpki >= profile.l2_mpki >= profile.l3_mpki
+
+    def test_spec_has_no_sharing(self):
+        for profile in (*SPEC2006, *SPEC2017):
+            assert profile.sharing_fraction == 0.0
+            assert profile.barrier_pki == 0.0
+
+    def test_streamcluster_is_barrier_heavy(self):
+        stream = by_name("streamcluster")
+        assert stream.barrier_pki == max(p.barrier_pki for p in PARSEC_2_1)
+
+    def test_validation_rejects_inverted_chain(self):
+        with pytest.raises(ValueError, match="monotone"):
+            WorkloadProfile(
+                "bad", "test", base_cpi=1.0, ilp=2.0, restarts_pki=1.0,
+                l1d_mpki=1.0, l2_mpki=5.0, l3_mpki=0.1,
+                barrier_pki=0.0, lock_pki=0.0, sharing_fraction=0.0,
+            )
+
+    def test_injection_rate_scales_with_ipc(self):
+        profile = by_name("canneal")
+        assert profile.injection_rate(1.0) == pytest.approx(
+            2 * profile.injection_rate(0.5)
+        )
+
+    def test_injection_rate_rejects_bad_ipc(self):
+        with pytest.raises(ValueError):
+            by_name("canneal").injection_rate(0.0)
+
+
+class TestInjectionBands:
+    """Fig. 18's feasibility ordering across suites."""
+
+    def test_parsec_band_lowest(self):
+        parsec_lo, parsec_hi = injection_rate_range(PARSEC_2_1)
+        spec_lo, spec_hi = injection_rate_range(SPEC2006)
+        assert parsec_hi < spec_hi
+
+    def test_range_requires_profiles(self):
+        with pytest.raises(ValueError):
+            injection_rate_range(())
+
+    def test_spec_peaks_highest(self):
+        _, spec_hi = injection_rate_range((*SPEC2006, *SPEC2017))
+        _, cloud_hi = injection_rate_range(CLOUDSUITE)
+        assert spec_hi > cloud_hi
+
+
+class TestStridePrefetcher:
+    def test_prefetch_traffic_positive(self):
+        prefetcher = StridePrefetcher()
+        assert prefetcher.prefetch_pki(by_name("gcc")) > 0
+
+    def test_noc_requests_exceed_demand(self):
+        prefetcher = StridePrefetcher()
+        profile = by_name("gcc")
+        assert prefetcher.noc_requests_pki(profile) > profile.l2_mpki
+
+    def test_useful_prefetches_reduce_demand_misses(self):
+        prefetcher = StridePrefetcher(useful_fraction=0.5)
+        profile = by_name("mcf")
+        assert prefetcher.effective_l2_mpki(profile) < profile.l2_mpki
+
+    def test_effective_mpki_never_negative(self):
+        prefetcher = StridePrefetcher(degree=4, useful_fraction=1.0)
+        for profile in SPEC2006:
+            assert prefetcher.effective_l2_mpki(profile) >= 0
+
+    def test_hit_triggering_amplifies_low_miss_workloads(self):
+        quiet = by_name("hmmer")
+        with_hits = StridePrefetcher(hit_trigger_rate=0.01)
+        without = StridePrefetcher(hit_trigger_rate=0.0)
+        assert with_hits.prefetch_pki(quiet) > without.prefetch_pki(quiet)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(degree=0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(hit_trigger_rate=1.5)
+        with pytest.raises(ValueError):
+            StridePrefetcher(useful_fraction=-0.1)
+
+
+class TestSyntheticTraces:
+    def test_rate_matches_profile(self):
+        profile = by_name("canneal")
+        generator = SyntheticTraceGenerator(profile, n_cores=64, ipc=1.0)
+        count = sum(1 for _ in generator.requests(2000))
+        expected = profile.injection_rate(1.0) * 64 * 2000
+        assert count == pytest.approx(expected, rel=0.2)
+
+    def test_deterministic(self):
+        profile = by_name("ferret")
+        first = list(SyntheticTraceGenerator(profile, seed="t").requests(200))
+        second = list(SyntheticTraceGenerator(profile, seed="t").requests(200))
+        assert first == second
+
+    def test_shared_fraction_respected(self):
+        profile = by_name("streamcluster")  # sharing 0.6
+        generator = SyntheticTraceGenerator(profile, n_cores=64)
+        requests = list(generator.requests(4000))
+        shared = sum(r.is_shared for r in requests) / len(requests)
+        assert shared == pytest.approx(profile.sharing_fraction, abs=0.1)
+
+    def test_private_addresses_disjoint_by_core(self):
+        profile = by_name("canneal")
+        generator = SyntheticTraceGenerator(profile, n_cores=8)
+        base = SyntheticTraceGenerator.SHARED_LINES * 64
+        for request in generator.requests(800):
+            if not request.is_shared:
+                assert request.address >= base
+
+    def test_barriers_only_for_barrier_workloads(self):
+        quiet = SyntheticTraceGenerator(by_name("mcf"))
+        assert list(quiet.barrier_cycles(5000)) == []
+        noisy = SyntheticTraceGenerator(by_name("streamcluster"))
+        assert len(list(noisy.barrier_cycles(50000))) > 0
+
+    def test_rejects_bad_cycles(self):
+        generator = SyntheticTraceGenerator(by_name("mcf"))
+        with pytest.raises(ValueError):
+            list(generator.requests(0))
+
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(by_name("mcf"), n_cores=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(ipc=st.floats(min_value=0.2, max_value=2.0))
+    def test_requests_are_cycle_ordered(self, ipc):
+        generator = SyntheticTraceGenerator(by_name("gcc"), n_cores=8, ipc=ipc)
+        cycles = [r.cycle for r in generator.requests(300)]
+        assert cycles == sorted(cycles)
