@@ -8,6 +8,17 @@ suite stays minutes-scale.
 
 from __future__ import annotations
 
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_result_cache(monkeypatch):
+    """Benchmarks must measure real work: opt out of the result cache.
+
+    A warm cache would turn every experiment benchmark into a disk read.
+    """
+    monkeypatch.setenv("CRYOWIRE_NO_CACHE", "1")
+
 
 def run_once(benchmark, fn, **kwargs):
     """Benchmark ``fn`` with a single measured round."""

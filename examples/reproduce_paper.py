@@ -2,38 +2,67 @@
 """Regenerate every table and figure of the paper in one run.
 
 Equivalent to ``cryowire all`` but importable; prints each experiment's
-rows and a compact paper-vs-measured summary at the end.
+rows and a compact run summary at the end. Executes through the caching
+execution engine, so a second invocation is nearly instant (cache hits)
+and ``--jobs N`` fans cache misses out over worker processes.
 
-Run:  python examples/reproduce_paper.py            # everything
+Run:  python examples/reproduce_paper.py              # everything
       python examples/reproduce_paper.py fig23 fig22  # a subset
+      python examples/reproduce_paper.py --jobs 4     # parallel
+      python examples/reproduce_paper.py --no-cache   # force recompute
 """
 
 import sys
-import time
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.engine import ExecutionEngine
+from repro.experiments.registry import EXPERIMENTS
 
 
 def main(argv) -> int:
-    requested = argv or sorted(EXPERIMENTS)
+    jobs, use_cache, requested = 1, True, []
+    arguments = list(argv)
+    while arguments:
+        argument = arguments.pop(0)
+        if argument == "--jobs":
+            jobs = int(arguments.pop(0))
+        elif argument.startswith("--jobs="):
+            jobs = int(argument.split("=", 1)[1])
+        elif argument == "--no-cache":
+            use_cache = False
+        else:
+            requested.append(argument)
+    requested = requested or sorted(EXPERIMENTS)
     unknown = [e for e in requested if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}")
         print(f"available: {', '.join(sorted(EXPERIMENTS))}")
         return 1
 
-    summary = []
+    engine = ExecutionEngine(jobs=jobs, use_cache=use_cache)
+    outcome = engine.run(requested)
+    timings = {
+        record.experiment_id: record for record in outcome.manifest.records
+    }
     for experiment_id in requested:
-        start = time.perf_counter()
-        result = run_experiment(experiment_id)
-        elapsed = time.perf_counter() - start
+        result = outcome.results[experiment_id]
+        record = timings[experiment_id]
         print(result.to_text())
-        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")
-        summary.append((experiment_id, len(result.rows), elapsed))
+        print(
+            f"[{experiment_id} {record.status} in {record.wall_time_s:.1f}s]\n"
+        )
 
     print("== summary ==")
-    for experiment_id, n_rows, elapsed in summary:
-        print(f"{experiment_id:10s} {n_rows:4d} rows  {elapsed:6.1f}s")
+    for experiment_id in requested:
+        record = timings[experiment_id]
+        n_rows = len(outcome.results[experiment_id].rows)
+        print(
+            f"{experiment_id:24s} {n_rows:4d} rows  {record.status:8s} "
+            f"{record.wall_time_s:6.1f}s"
+        )
+    print(
+        f"{len(requested)} experiments in {outcome.manifest.elapsed_s:.1f}s "
+        f"(jobs={engine.jobs}, {outcome.manifest.n_hits} cache hits)"
+    )
     return 0
 
 

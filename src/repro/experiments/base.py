@@ -32,18 +32,21 @@ class ExperimentResult:
             )
         self.rows.append(tuple(cells))
 
-    def column(self, header: str) -> List:
+    def _column_index(self, header: str) -> int:
         try:
-            idx = self.headers.index(header)
+            return self.headers.index(header)
         except ValueError:
             raise KeyError(
                 f"{self.experiment_id}: no column {header!r}; "
                 f"have {self.headers}"
             ) from None
+
+    def column(self, header: str) -> List:
+        idx = self._column_index(header)
         return [row[idx] for row in self.rows]
 
     def row_by(self, header: str, value) -> Tuple:
-        idx = self.headers.index(header)
+        idx = self._column_index(header)
         for row in self.rows:
             if row[idx] == value:
                 return row
@@ -53,23 +56,48 @@ class ExperimentResult:
         """Single-cell lookup: the ``value_header`` of the row keyed by
         ``key_header == key``."""
         row = self.row_by(key_header, key)
-        return row[self.headers.index(value_header)]
+        return row[self._column_index(value_header)]
+
+    def to_dict(self) -> Dict:
+        """A plain-data rendering (the payload behind ``to_json`` and the
+        on-disk result cache)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "paper_reference": dict(self.paper_reference),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`.
+
+        Normalizes containers back to the in-memory layout (headers a
+        tuple, every row a tuple) so ``from_dict(r.to_dict()) == r``.
+        """
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headers=tuple(data["headers"]),
+            rows=[tuple(row) for row in data["rows"]],
+            paper_reference=dict(data.get("paper_reference", {})),
+            notes=data.get("notes", ""),
+        )
 
     def to_json(self) -> str:
         """Serialise to JSON (for plotting scripts and downstream use)."""
         import json
 
-        return json.dumps(
-            {
-                "experiment_id": self.experiment_id,
-                "title": self.title,
-                "headers": list(self.headers),
-                "rows": [list(row) for row in self.rows],
-                "paper_reference": self.paper_reference,
-                "notes": self.notes,
-            },
-            indent=2,
-        )
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`: ``from_json(r.to_json()) == r``."""
+        import json
+
+        return cls.from_dict(json.loads(text))
 
     def to_csv(self) -> str:
         """Serialise the table to CSV (header row first)."""

@@ -1,0 +1,152 @@
+"""Content-addressed on-disk cache for :class:`ExperimentResult`.
+
+A cached entry is keyed by everything that could change the result:
+
+* the experiment id,
+* the canonicalized kwargs of the run,
+* the ``repro`` package version,
+* a SHA-256 digest of the experiment module's source file.
+
+The last component makes invalidation automatic: editing ``fig23.py``
+changes its source digest, so every cached ``fig23`` result silently
+misses and is recomputed. Entries are JSON files named by key under the
+cache directory (``$CRYOWIRE_CACHE_DIR``, else ``$XDG_CACHE_HOME/
+cryowire``, else ``~/.cache/cryowire``); writes go through a temp file +
+``os.replace`` so concurrent workers never observe torn entries.
+
+Runs whose kwargs are not plain JSON data (e.g. a prefetcher object) are
+*uncacheable*: their canonical form would embed unstable ``repr`` text,
+so the engine simply computes them every time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro import __version__
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import ExperimentSpec
+from repro.util.digest import canonical_json, file_digest, is_plain_data, sha256_hex
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "CRYOWIRE_CACHE_DIR"
+#: Environment variable disabling caching entirely (any non-empty value).
+NO_CACHE_ENV = "CRYOWIRE_NO_CACHE"
+
+#: File (inside the cache dir) holding the manifest of the last run.
+MANIFEST_NAME = "last_run.json"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "cryowire"
+
+
+def cache_disabled_by_env() -> bool:
+    return bool(os.environ.get(NO_CACHE_ENV))
+
+
+class ResultCache:
+    """Maps content keys to serialized ``ExperimentResult``s on disk."""
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self._source_digests: Dict[str, str] = {}  # path -> digest, per-instance
+
+    # -- keys ---------------------------------------------------------------
+
+    def is_cacheable(self, kwargs: Dict) -> bool:
+        return is_plain_data(kwargs)
+
+    def _module_digest(self, spec: ExperimentSpec) -> str:
+        path = spec.source_file
+        if path is None:
+            return "no-source"
+        digest = self._source_digests.get(path)
+        if digest is None:
+            digest = file_digest(path)
+            self._source_digests[path] = digest
+        return digest
+
+    def key_for(self, spec: ExperimentSpec, kwargs: Dict) -> str:
+        """Content key: id + canonical kwargs + version + source digest."""
+        material = canonical_json(
+            {
+                "experiment_id": spec.experiment_id,
+                "kwargs": kwargs,
+                "version": __version__,
+                "source_digest": self._module_digest(spec),
+            }
+        )
+        return sha256_hex(material)
+
+    # -- entries ------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or None (corrupt entries miss)."""
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return ExperimentResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: ExperimentResult) -> Path:
+        """Atomically persist ``result`` under ``key``."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._entry_path(key)
+        payload = {
+            "version": __version__,
+            "experiment_id": result.experiment_id,
+            "result": result.to_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.cache_dir), prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json"):
+                if path.name == MANIFEST_NAME:
+                    continue
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(
+            1 for p in self.cache_dir.glob("*.json") if p.name != MANIFEST_NAME
+        )
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.cache_dir / MANIFEST_NAME

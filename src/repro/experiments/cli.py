@@ -2,19 +2,87 @@
 
 Usage::
 
-    cryowire list                 # enumerate experiments
-    cryowire run fig23            # run one experiment, print its table
-    cryowire report               # paper-vs-measured summary
-    cryowire all                  # run everything (slow ones included)
+    cryowire list                          # enumerate experiments
+    cryowire run fig23                     # run one experiment, print its table
+    cryowire run fig22 fig23 --format json # several, as JSON
+    cryowire run table3 --output out/      # one artifact file per experiment
+    cryowire all --jobs 4                  # everything, 4 worker processes
+    cryowire all --no-cache                # force recomputation
+    cryowire report                        # paper-vs-measured summary
+    cryowire stats                         # manifest of the last engine run
+
+``run`` and ``all`` execute through the caching execution engine
+(:mod:`repro.experiments.engine`): results are memoized on disk keyed by
+experiment id, kwargs, package version and the experiment module's
+source digest, and cache misses fan out over ``--jobs N`` worker
+processes. ``--cache-dir DIR`` relocates the cache (default
+``$CRYOWIRE_CACHE_DIR`` or ``~/.cache/cryowire``); ``--no-cache``
+bypasses it. Every run writes a JSON manifest (wall time, hit/miss,
+worker attribution per experiment) that ``cryowire stats`` prints.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.engine import ExecutionEngine, load_last_manifest
+from repro.experiments.registry import EXPERIMENTS
+
+#: --format value -> (renderer, file extension)
+_FORMATS = {
+    "text": (ExperimentResult.to_text, "txt"),
+    "json": (ExperimentResult.to_json, "json"),
+    "csv": (ExperimentResult.to_csv, "csv"),
+}
+
+
+def _jobs(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {jobs}")
+    return jobs
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs,
+        default=1,
+        metavar="N",
+        help="worker processes for cache misses (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (always recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default $CRYOWIRE_CACHE_DIR "
+        "or ~/.cache/cryowire)",
+    )
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=sorted(_FORMATS),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="write one artifact file per experiment into DIR "
+        "instead of printing",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -24,11 +92,59 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    sub.add_parser("all", help="run every experiment")
-    sub.add_parser("report", help="paper-vs-measured summary of every anchor")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="experiment",
+        choices=sorted(EXPERIMENTS),
+        help="experiment ids (see 'cryowire list')",
+    )
+    _add_output_flags(run)
+    _add_engine_flags(run)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_output_flags(all_parser)
+    _add_engine_flags(all_parser)
+
+    report = sub.add_parser(
+        "report", help="paper-vs-measured summary of every anchor"
+    )
+    _add_engine_flags(report)
+
+    stats = sub.add_parser("stats", help="print the last run's manifest")
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory holding the manifest",
+    )
     return parser
+
+
+def _emit(
+    experiment_ids: Sequence[str],
+    results: Dict[str, ExperimentResult],
+    fmt: str,
+    output_dir: Optional[str],
+    blank_after_each: bool,
+) -> None:
+    render, extension = _FORMATS[fmt]
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for experiment_id in experiment_ids:
+            path = directory / f"{experiment_id}.{extension}"
+            path.write_text(render(results[experiment_id]) + "\n")
+            print(f"wrote {path}")
+        return
+    if blank_after_each:
+        for experiment_id in experiment_ids:
+            print(render(results[experiment_id]))
+            print()
+    else:
+        print("\n\n".join(render(results[eid]) for eid in experiment_ids))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -37,18 +153,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
-    if args.command == "run":
-        print(run_experiment(args.experiment).to_text())
+    if args.command in ("run", "all"):
+        experiment_ids = (
+            sorted(EXPERIMENTS) if args.command == "all" else list(args.experiments)
+        )
+        engine = ExecutionEngine(
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+        outcome = engine.run(experiment_ids)
+        _emit(
+            experiment_ids,
+            outcome.results,
+            args.format,
+            args.output,
+            blank_after_each=args.command == "all",
+        )
         return 0
     if args.command == "report":
         from repro.experiments.report import main as report_main
 
-        print(report_main())
+        engine = ExecutionEngine(
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+        print(report_main(runner=engine.run_one))
         return 0
-    # all
-    for experiment_id in sorted(EXPERIMENTS):
-        print(run_experiment(experiment_id).to_text())
-        print()
+    # stats
+    manifest = load_last_manifest(args.cache_dir)
+    if manifest is None:
+        print("no run manifest found (run 'cryowire all' first)")
+        return 1
+    print(manifest.summary())
     return 0
 
 

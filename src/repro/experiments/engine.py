@@ -1,0 +1,421 @@
+"""Parallel experiment execution engine with result caching.
+
+``cryowire all`` used to recompute all 26 figures/tables serially on
+every invocation. The engine keeps the experiment drivers untouched and
+wraps them in three layers:
+
+* **fan-out** — experiments are independent, so cache misses are
+  dispatched to a ``ProcessPoolExecutor`` (``--jobs N``). Scheduling is
+  longest-first: specs registered with ``cost="slow"`` enter the pool
+  before the fast ones, which minimises the makespan tail.
+* **memoization** — results are looked up in the content-addressed
+  :class:`~repro.experiments.cache.ResultCache` before any work is
+  submitted; misses are computed and written back. Keys include the
+  experiment module's source digest, so editing a driver invalidates
+  exactly its own entries.
+* **instrumentation** — every run produces a :class:`RunManifest`
+  recording per-experiment wall time, hit/miss status and worker
+  attribution. The manifest is written next to the cache
+  (``last_run.json``) and rendered by ``cryowire stats``.
+
+Determinism: the experiment drivers are pure functions of their kwargs
+(all randomness goes through seeded ``make_rng``), so parallel execution
+returns byte-identical tables to the serial path — a property the test
+suite asserts over the full registry.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import ResultCache, cache_disabled_by_env
+from repro.experiments.registry import get_spec
+
+#: Record statuses.
+HIT = "hit"  # served from the cache
+MISS = "miss"  # computed, then written to the cache
+UNCACHED = "uncached"  # computed; caching off or kwargs not cacheable
+ERROR = "error"  # the driver raised
+
+
+class ExperimentExecutionError(RuntimeError):
+    """One or more experiments failed; the manifest was still written."""
+
+
+@dataclass
+class RunRecord:
+    """Provenance of one experiment execution inside a run."""
+
+    experiment_id: str
+    status: str
+    wall_time_s: float = 0.0
+    worker_pid: int = 0
+    error: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "status": self.status,
+            "wall_time_s": self.wall_time_s,
+            "worker_pid": self.worker_pid,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunRecord":
+        return cls(
+            experiment_id=data["experiment_id"],
+            status=data["status"],
+            wall_time_s=data.get("wall_time_s", 0.0),
+            worker_pid=data.get("worker_pid", 0),
+            error=data.get("error", ""),
+        )
+
+
+@dataclass
+class RunManifest:
+    """What happened during one engine run (rendered by ``cryowire stats``)."""
+
+    jobs: int = 1
+    cache_dir: str = ""
+    cache_enabled: bool = True
+    created_at: str = ""
+    elapsed_s: float = 0.0
+    records: List[RunRecord] = field(default_factory=list)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for record in self.records if record.status == status)
+
+    @property
+    def n_hits(self) -> int:
+        return self._count(HIT)
+
+    @property
+    def n_misses(self) -> int:
+        return self._count(MISS)
+
+    @property
+    def n_uncached(self) -> int:
+        return self._count(UNCACHED)
+
+    @property
+    def n_errors(self) -> int:
+        return self._count(ERROR)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.n_hits / len(self.records) if self.records else 0.0
+
+    @property
+    def compute_s(self) -> float:
+        return sum(record.wall_time_s for record in self.records)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": 1,
+            "created_at": self.created_at,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "cache_enabled": self.cache_enabled,
+            "elapsed_s": self.elapsed_s,
+            "totals": {
+                "experiments": len(self.records),
+                "hits": self.n_hits,
+                "misses": self.n_misses,
+                "uncached": self.n_uncached,
+                "errors": self.n_errors,
+                "hit_rate": self.hit_rate,
+                "compute_s": self.compute_s,
+            },
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunManifest":
+        return cls(
+            jobs=data.get("jobs", 1),
+            cache_dir=data.get("cache_dir", ""),
+            cache_enabled=data.get("cache_enabled", True),
+            created_at=data.get("created_at", ""),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            records=[RunRecord.from_dict(r) for r in data.get("records", [])],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary(self) -> str:
+        """Human-readable rendering (the body of ``cryowire stats``)."""
+        lines = [
+            f"# cryowire run manifest ({self.created_at or 'unknown time'})",
+            f"jobs={self.jobs}  cache={'on' if self.cache_enabled else 'off'}"
+            f"  dir={self.cache_dir}",
+            "",
+            f"{'experiment':26s} {'status':9s} {'wall_s':>8s} {'worker':>8s}",
+            "-" * 56,
+        ]
+        for record in self.records:
+            lines.append(
+                f"{record.experiment_id:26s} {record.status:9s} "
+                f"{record.wall_time_s:8.3f} {record.worker_pid:8d}"
+                + (f"  {record.error}" if record.error else "")
+            )
+        lines.append("-" * 56)
+        lines.append(
+            f"{len(self.records)} experiments: {self.n_hits} hits, "
+            f"{self.n_misses} misses, {self.n_uncached} uncached, "
+            f"{self.n_errors} errors; hit rate {self.hit_rate:.1%}"
+        )
+        lines.append(
+            f"total compute {self.compute_s:.2f}s, elapsed {self.elapsed_s:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class RunOutcome:
+    """Engine output: results keyed by experiment id, plus provenance."""
+
+    results: Dict[str, ExperimentResult]
+    manifest: RunManifest
+
+
+def _execute(experiment_id: str, kwargs: Dict) -> Tuple[str, Dict, float, int]:
+    """Worker-side execution: returns a picklable result payload."""
+    start = time.perf_counter()
+    result = get_spec(experiment_id).runner(**kwargs)
+    wall = time.perf_counter() - start
+    return experiment_id, result.to_dict(), wall, os.getpid()
+
+
+class ExecutionEngine:
+    """Runs experiments through the cache and (optionally) a process pool.
+
+    ``jobs`` caps the worker processes; ``jobs=0`` means one per CPU.
+    ``use_cache=False`` (or the ``CRYOWIRE_NO_CACHE`` env var) disables
+    memoization but keeps the manifest instrumentation.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.cache = ResultCache(cache_dir)
+        self.use_cache = use_cache and not cache_disabled_by_env()
+
+    # -- scheduling ---------------------------------------------------------
+
+    @staticmethod
+    def schedule(experiment_ids: Sequence[str]) -> List[str]:
+        """Slow experiments first (longest-processing-time-first), then id."""
+        return sorted(
+            experiment_ids,
+            key=lambda eid: (get_spec(eid).cost != "slow", eid),
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def run_one(self, experiment_id: str, **kwargs) -> ExperimentResult:
+        """Cached serial execution of a single experiment."""
+        result, _ = self._run_cached(experiment_id, kwargs)
+        return result
+
+    def _run_cached(
+        self, experiment_id: str, kwargs: Dict
+    ) -> Tuple[ExperimentResult, RunRecord]:
+        spec = get_spec(experiment_id)
+        cacheable = self.use_cache and self.cache.is_cacheable(kwargs)
+        key = self.cache.key_for(spec, kwargs) if cacheable else None
+        if key is not None:
+            start = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                record = RunRecord(
+                    experiment_id, HIT, time.perf_counter() - start, os.getpid()
+                )
+                return cached, record
+        start = time.perf_counter()
+        result = spec.runner(**kwargs)
+        wall = time.perf_counter() - start
+        if key is not None:
+            self.cache.put(key, result)
+        record = RunRecord(
+            experiment_id, MISS if key is not None else UNCACHED, wall, os.getpid()
+        )
+        return result, record
+
+    def run(
+        self,
+        experiment_ids: Sequence[str],
+        kwargs_by_id: Optional[Dict[str, Dict]] = None,
+        write_manifest: bool = True,
+    ) -> RunOutcome:
+        """Run ``experiment_ids`` (cache-first, misses fanned out).
+
+        Returns every result plus the run manifest; raises
+        :class:`ExperimentExecutionError` after the fleet drains if any
+        experiment failed (the manifest is written either way).
+        """
+        kwargs_by_id = kwargs_by_id or {}
+        started = time.perf_counter()
+        manifest = RunManifest(
+            jobs=self.jobs,
+            cache_dir=str(self.cache.cache_dir),
+            cache_enabled=self.use_cache,
+            created_at=_datetime.datetime.now(_datetime.timezone.utc).isoformat(),
+        )
+        results: Dict[str, ExperimentResult] = {}
+        pending: List[Tuple[str, Dict, Optional[str]]] = []
+
+        for experiment_id in self.schedule(experiment_ids):
+            kwargs = kwargs_by_id.get(experiment_id, {})
+            spec = get_spec(experiment_id)  # fail fast on unknown ids
+            cacheable = self.use_cache and self.cache.is_cacheable(kwargs)
+            key = self.cache.key_for(spec, kwargs) if cacheable else None
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                results[experiment_id] = cached
+                manifest.records.append(
+                    RunRecord(experiment_id, HIT, 0.0, os.getpid())
+                )
+            else:
+                pending.append((experiment_id, kwargs, key))
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_pool(pending, results, manifest)
+        else:
+            self._run_inline(pending, results, manifest)
+
+        manifest.elapsed_s = time.perf_counter() - started
+        if write_manifest:
+            manifest.save(self.cache.manifest_path)
+        failures = [r for r in manifest.records if r.status == ERROR]
+        if failures:
+            detail = "; ".join(f"{r.experiment_id}: {r.error}" for r in failures)
+            raise ExperimentExecutionError(
+                f"{len(failures)} experiment(s) failed: {detail}"
+            )
+        return RunOutcome(results=results, manifest=manifest)
+
+    def _store(
+        self,
+        experiment_id: str,
+        key: Optional[str],
+        result: ExperimentResult,
+        wall: float,
+        pid: int,
+        results: Dict[str, ExperimentResult],
+        manifest: RunManifest,
+    ) -> None:
+        results[experiment_id] = result
+        if key is not None:
+            self.cache.put(key, result)
+        manifest.records.append(
+            RunRecord(experiment_id, MISS if key is not None else UNCACHED, wall, pid)
+        )
+
+    def _run_inline(self, pending, results, manifest) -> None:
+        for experiment_id, kwargs, key in pending:
+            start = time.perf_counter()
+            try:
+                result = get_spec(experiment_id).runner(**kwargs)
+            except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
+                manifest.records.append(
+                    RunRecord(
+                        experiment_id,
+                        ERROR,
+                        time.perf_counter() - start,
+                        os.getpid(),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            self._store(
+                experiment_id,
+                key,
+                result,
+                time.perf_counter() - start,
+                os.getpid(),
+                results,
+                manifest,
+            )
+
+    def _run_pool(self, pending, results, manifest) -> None:
+        keys = {experiment_id: key for experiment_id, _, key in pending}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute, experiment_id, kwargs): experiment_id
+                for experiment_id, kwargs, _ in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    experiment_id = futures[future]
+                    try:
+                        _, payload, wall, pid = future.result()
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        manifest.records.append(
+                            RunRecord(
+                                experiment_id,
+                                ERROR,
+                                0.0,
+                                0,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        continue
+                    self._store(
+                        experiment_id,
+                        keys[experiment_id],
+                        ExperimentResult.from_dict(payload),
+                        wall,
+                        pid,
+                        results,
+                        manifest,
+                    )
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[Union[str, Path]] = None,
+    **engine_kwargs,
+) -> RunOutcome:
+    """One-shot convenience wrapper around :class:`ExecutionEngine`."""
+    engine = ExecutionEngine(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return engine.run(experiment_ids, **engine_kwargs)
+
+
+def load_last_manifest(
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Optional[RunManifest]:
+    """The manifest of the most recent engine run, if any."""
+    path = ResultCache(cache_dir).manifest_path
+    try:
+        return RunManifest.load(path)
+    except (OSError, ValueError, KeyError):
+        return None

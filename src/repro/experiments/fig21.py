@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.noc.bus import CryoBusDesign, SharedBusDesign
 from repro.noc.link import WireLinkModel
 from repro.noc.simulator import NocSimulator
@@ -21,6 +22,7 @@ from repro.tech.constants import T_LN2
 DEFAULT_RATES = (0.001, 0.002, 0.004, 0.006, 0.008, 0.012)
 
 
+@experiment("fig21", cost="slow", section="Fig. 21", tags=("noc", "simulation"))
 def run(
     rates: Sequence[float] = DEFAULT_RATES,
     n_cycles: int = 5000,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.noc.hybrid import HybridCryoBus
 from repro.noc.latency import AnalyticNocModel
 from repro.noc.link import WireLinkModel
@@ -22,6 +23,7 @@ from repro.tech.constants import T_LN2
 DEFAULT_RATES = (0.0005, 0.001, 0.002, 0.003, 0.005, 0.008)
 
 
+@experiment("fig26", cost="slow", section="Fig. 26", tags=("noc", "scaling"))
 def run(rates: Sequence[float] = DEFAULT_RATES) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig26",

@@ -1,10 +1,143 @@
-"""Experiment registry: id -> runner."""
+"""Experiment registry: id -> runner, populated by ``@experiment``.
+
+Experiment modules self-register by decorating their driver::
+
+    from repro.experiments.registry import experiment
+
+    @experiment("fig23", cost="slow", section="Fig. 23", tags=("system",))
+    def run() -> ExperimentResult: ...
+
+The decorator records an :class:`ExperimentSpec` (runner plus scheduling
+metadata — the execution engine runs ``cost="slow"`` experiments first
+and keys its cache on the module's source digest) and returns the
+function unchanged, so direct calls like ``fig23.run()`` keep working.
+
+``EXPERIMENTS``, ``get_experiment`` and ``run_experiment`` are
+backward-compatible views over the spec table: ``EXPERIMENTS`` behaves
+exactly like the old hand-maintained ``{id: runner}`` dict.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
-from repro.experiments import (
+from repro.experiments.base import ExperimentResult
+
+Runner = Callable[..., ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: its runner plus scheduling metadata."""
+
+    experiment_id: str
+    runner: Runner
+    cost: str = "fast"  # "fast" | "slow"; slow experiments are scheduled first
+    section: str = ""  # paper artefact it regenerates, e.g. "Fig. 23"
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cost not in ("fast", "slow"):
+            raise ValueError(
+                f"{self.experiment_id}: cost must be 'fast' or 'slow', "
+                f"got {self.cost!r}"
+            )
+
+    @property
+    def source_file(self) -> Optional[str]:
+        """Path of the module defining the runner (None for builtins)."""
+        return inspect.getsourcefile(self.runner)
+
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def experiment(
+    experiment_id: str,
+    *,
+    cost: str = "fast",
+    section: str = "",
+    tags: Tuple[str, ...] = (),
+) -> Callable[[Runner], Runner]:
+    """Register the decorated function as the runner for ``experiment_id``."""
+
+    def decorate(runner: Runner) -> Runner:
+        if experiment_id in _SPECS:
+            raise ValueError(
+                f"experiment {experiment_id!r} registered twice "
+                f"({_SPECS[experiment_id].runner} and {runner})"
+            )
+        _SPECS[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            runner=runner,
+            cost=cost,
+            section=section,
+            tags=tuple(tags),
+        )
+        return runner
+
+    return decorate
+
+
+class _RegistryView(Mapping):
+    """Live read-only ``{id: runner}`` view of the spec table.
+
+    Drop-in replacement for the old module-level dict: iteration,
+    membership, ``[]`` and ``len`` all work, and registrations made
+    after import show up immediately.
+    """
+
+    def __getitem__(self, experiment_id: str) -> Runner:
+        return _SPECS[experiment_id].runner
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_SPECS)
+
+    def __len__(self) -> int:
+        return len(_SPECS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EXPERIMENTS({sorted(_SPECS)})"
+
+
+EXPERIMENTS: Mapping[str, Runner] = _RegistryView()
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    try:
+        return _SPECS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(_SPECS))}"
+        ) from None
+
+
+def iter_specs() -> Iterator[ExperimentSpec]:
+    """All registered specs, in id order."""
+    for experiment_id in sorted(_SPECS):
+        yield _SPECS[experiment_id]
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    return get_spec(experiment_id).runner
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Serial, uncached execution — the thin wrapper existing callers use.
+
+    The parallel/cached path lives in :mod:`repro.experiments.engine`.
+    """
+    return get_experiment(experiment_id)(**kwargs)
+
+
+# Importing the experiment modules fires their ``@experiment`` decorators
+# and populates the registry. This must come *after* the decorator is
+# defined: the modules import it back from here (the cycle is benign
+# because they only need the names defined above).
+from repro.experiments import (  # noqa: E402,F401  (imported for registration)
     ablations,
     robustness,
     fig02,
@@ -28,48 +161,3 @@ from repro.experiments import (
     table3,
     table4,
 )
-from repro.experiments.base import ExperimentResult
-
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig02": fig02.run,
-    "fig03": fig03.run,
-    "fig05": fig05.run,
-    "fig09": fig09.run,
-    "fig10": fig10.run,
-    "fig12_14": fig12_14.run,
-    "fig16": fig16.run,
-    "fig17": fig17.run,
-    "fig18": fig18.run,
-    "fig20": fig20.run,
-    "fig21": fig21.run,
-    "fig22": fig22.run,
-    "fig23": fig23.run,
-    "fig24": fig24.run,
-    "fig25": fig25.run,
-    "fig26": fig26.run,
-    "fig27": fig27.run,
-    "table1": table1.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    # Ablation / extension studies (not paper artefacts; see DESIGN.md).
-    "ablation_superpipeline": ablations.run_superpipeline_ablation,
-    "ablation_cryobus": ablations.run_cryobus_ablation,
-    "ablation_exposure": ablations.run_exposure_sensitivity,
-    "ablation_interleaving": ablations.run_interleaving_sweep,
-    "ext_nodes": ablations.run_technology_outlook,
-    "robustness": robustness.run,
-}
-
-
-def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    try:
-        return EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; "
-            f"available: {', '.join(sorted(EXPERIMENTS))}"
-        ) from None
-
-
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    return get_experiment(experiment_id)(**kwargs)

@@ -10,15 +10,21 @@ takes well under a minute.
 from __future__ import annotations
 
 import statistics
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import run_experiment
 
 Row = Tuple[str, str, float, float]
 
+#: A runner maps an experiment id to its result. The default is the
+#: serial uncached path; the CLI injects the caching engine's
+#: ``run_one`` so repeated ``cryowire report`` invocations are warm.
+Runner = Callable[[str], ExperimentResult]
 
-def _fig23_rows() -> List[Row]:
-    result = run_experiment("fig23")
+
+def _fig23_rows(runner: Runner) -> List[Row]:
+    result = runner("fig23")
 
     def mean(column: str) -> float:
         return result.lookup("workload", "mean", column)
@@ -35,23 +41,24 @@ def _fig23_rows() -> List[Row]:
     ]
 
 
-def collect() -> List[Row]:
+def collect(runner: Optional[Runner] = None) -> List[Row]:
     """(experiment, quantity, paper, measured) for every anchor."""
+    runner = runner or run_experiment
     rows: List[Row] = []
 
-    fig02 = run_experiment("fig02")
+    fig02 = runner("fig02")
     rows.append(
         ("fig02", "forwarding-stage wire share", 0.576,
          fig02.lookup("stage", "mean", "wire_fraction"))
     )
 
-    fig03 = run_experiment("fig03")
+    fig03 = runner("fig03")
     rows.append(
         ("fig03", "NoC(+sync) CPI share (avg)", 0.456,
          fig03.lookup("workload", "mean", "noc_plus_sync"))
     )
 
-    fig05 = run_experiment("fig05")
+    fig05 = runner("fig05")
     series = {}
     for name, length, speedup in fig05.rows:
         series[(name, length)] = speedup
@@ -61,10 +68,10 @@ def collect() -> List[Row]:
                  max(v for (n, _), v in series.items()
                      if n == "semi_global_unrepeated")))
 
-    fig10 = run_experiment("fig10")
+    fig10 = runner("fig10")
     rows.append(("fig10", "6mm link speed-up @77K", 3.05, fig10.rows[0][1]))
 
-    fig12 = run_experiment("fig12_14")
+    fig12 = runner("fig12_14")
     cold = max(r[5] for r in fig12.rows if r[0] == "fig13_77K")
     superpipelined = max(
         r[5] for r in fig12.rows if r[0] == "fig14_superpipelined_77K"
@@ -72,34 +79,34 @@ def collect() -> List[Row]:
     rows.append(("fig13", "77K max-delay reduction", 0.19, 1 - cold))
     rows.append(("fig14", "superpipelined reduction", 0.38, 1 - superpipelined))
 
-    fig17 = run_experiment("fig17")
+    fig17 = runner("fig17")
     rows.append(("fig17", "77K mesh vs ideal NoC", 0.567,
                  fig17.lookup("workload", "mean", "mesh_77k")))
 
-    fig20 = run_experiment("fig20")
+    fig20 = runner("fig20")
     rows.append(("fig20", "CryoBus broadcast cycles", 1.0,
                  float(fig20.lookup("design", "cryobus", "broadcast"))))
 
-    fig22 = run_experiment("fig22")
+    fig22 = runner("fig22")
     rows.append(("fig22", "CryoBus power vs 300K mesh", 0.428,
                  fig22.lookup("design", "cryobus", "total")))
 
-    rows.extend(_fig23_rows())
+    rows.extend(_fig23_rows(runner))
 
-    fig24 = run_experiment("fig24")
+    fig24 = runner("fig24")
     rows.append(("fig24", "CryoBus+prefetch vs 300K", 2.11,
                  fig24.lookup("workload", "mean", "CryoSP (77K, CryoBus)")))
     rows.append(("fig24", "2-way CryoBus vs 300K", 2.34,
                  fig24.lookup("workload", "mean",
                               "CryoSP (77K, CryoBus, 2-way)")))
 
-    table3 = run_experiment("table3")
+    table3 = runner("table3")
     rows.append(("table3", "CryoSP frequency (GHz)", 7.84,
                  table3.lookup("design", "77K CryoSP", "frequency_ghz")))
     rows.append(("table3", "CHP-core frequency (GHz)", 6.1,
                  table3.lookup("design", "CHP-core", "frequency_ghz")))
 
-    fig09 = run_experiment("fig09")
+    fig09 = runner("fig09")
     rows.append(("fig09", "pipeline 135K speed-up (model)", 1.150,
                  fig09.rows[0][1]))
     return rows
@@ -128,5 +135,5 @@ def render(rows: List[Row]) -> str:
     return "\n".join(lines)
 
 
-def main() -> str:
-    return render(collect())
+def main(runner: Optional[Runner] = None) -> str:
+    return render(collect(runner))

@@ -16,6 +16,7 @@ from repro.util.units import (
     frequency_to_period_ns,
     ns_to_cycles,
 )
+from repro.util.digest import canonical_json, file_digest, is_plain_data, sha256_hex
 from repro.util.rng import make_rng
 from repro.util.tables import format_table, normalize
 
@@ -37,4 +38,8 @@ __all__ = [
     "make_rng",
     "format_table",
     "normalize",
+    "canonical_json",
+    "file_digest",
+    "is_plain_data",
+    "sha256_hex",
 ]

@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the experiment result cache at a per-session temp dir.
+
+    Tests exercising the CLI/engine must not read results cached by
+    earlier runs on the developer's machine, nor pollute ~/.cache.
+    """
+    cache_dir = tmp_path_factory.mktemp("cryowire-cache")
+    previous = os.environ.get("CRYOWIRE_CACHE_DIR")
+    os.environ["CRYOWIRE_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("CRYOWIRE_CACHE_DIR", None)
+    else:
+        os.environ["CRYOWIRE_CACHE_DIR"] = previous
 
 from repro.core.superpipeline import SuperpipelineTransform
 from repro.pipeline.model import PipelineModel
