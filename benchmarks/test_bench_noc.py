@@ -9,6 +9,11 @@ from repro.experiments.fig20 import run as run_fig20
 from repro.experiments.fig21 import run as run_fig21
 from repro.experiments.fig25 import run as run_fig25
 from repro.experiments.fig26 import run as run_fig26
+from repro.noc.equivalence import compare_engines, max_low_load_disagreement
+from repro.noc.flitsim import FlitLevelSimulator
+from repro.noc.measure import load_latency_curve
+from repro.noc.topology import Mesh
+from repro.noc.traffic import make_pattern
 
 
 def test_fig16_l3_latency_breakdown(benchmark):
@@ -56,6 +61,40 @@ def test_fig25_adversarial_patterns(benchmark):
         if r[1] == "cryobus" and r[2] == 0.001
     ]
     assert max(lows) - min(lows) < 2.0
+
+
+def test_flit_level_fig21_sweep(benchmark):
+    """Flit-level fig21-style sweep: 64-node mesh, 5 injection rates.
+
+    This is the hot loop the paper's load-latency figures lean on; the
+    active-port worklist keeps the sweep fast enough to run per-PR.
+    """
+    sim = FlitLevelSimulator(Mesh(64))
+    pattern = make_pattern("uniform", 64)
+    rates = (0.002, 0.005, 0.01, 0.02, 0.04)
+
+    def sweep():
+        return load_latency_curve(
+            lambda injection_rate: sim.simulate(
+                pattern, injection_rate, n_cycles=4000
+            ),
+            rates,
+        )
+
+    points = run_once(benchmark, sweep)
+    assert len(points) == len(rates)
+    assert not points[0].saturated
+    assert points[0].acceptance == 1.0
+
+
+def test_cross_engine_equivalence_smoke(benchmark):
+    """Flit, packet and analytic engines agree at low load (mesh-64)."""
+
+    def compare():
+        return compare_engines(Mesh(64), (0.005,), n_cycles=2000)
+
+    points = run_once(benchmark, compare)
+    assert max_low_load_disagreement(points) <= 0.15
 
 
 def test_fig26_256_core_scaling(benchmark):

@@ -10,12 +10,14 @@ but not SPEC/CloudSuite.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.noc.bus import SharedBusDesign
 from repro.noc.link import WireLinkModel
+from repro.noc.measure import load_latency_curve
 from repro.noc.simulator import NocSimulator
 from repro.noc.traffic import make_pattern
 from repro.pipeline.config import OP_NOC_300K, OP_NOC_77K
@@ -49,10 +51,18 @@ def run(
         ("bus_77K", T_LN2, OP_NOC_77K),
     ):
         hpc = links.hops_per_cycle(temperature)
-        for rate in rates:
-            point = sim.simulate_bus(bus, pattern, rate, hops_per_cycle=hpc)
-            latency = min(point.mean_latency_cycles, 1e6)
-            result.add_row(label, rate, latency, point.saturated)
+        # Saturation-aware sweep: rates past the knee are synthesised
+        # rather than simulated (their latency is a drain artefact).
+        points = load_latency_curve(
+            partial(sim.simulate_bus, bus, pattern, hops_per_cycle=hpc), rates
+        )
+        for point in points:
+            result.add_row(
+                label,
+                point.injection_rate,
+                point.capped_latency_cycles,
+                point.saturated,
+            )
 
     # Closed-loop per-suite injection ranges on a healthy 77 K system.
     system = MulticoreSystem(CHP_77K_CRYOBUS)

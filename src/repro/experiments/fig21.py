@@ -4,16 +4,24 @@ Router-based NoCs are shown with both the conservative 1-cycle and the
 realistic 3-cycle router; CryoBus reaches a far lower zero-load latency
 while tolerating contention comparably to CMesh / FB with 3-cycle
 routers.
+
+Sweeps are saturation-aware: once a fabric saturates, higher injection
+rates are synthesised as saturated points (latency capped at
+``LATENCY_CAP``) instead of being simulated -- past the knee the
+measured value is a drain-cap artefact, and skipping it is where most of
+the sweep time goes.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.noc.bus import CryoBusDesign, SharedBusDesign
 from repro.noc.link import WireLinkModel
+from repro.noc.measure import load_latency_curve
 from repro.noc.simulator import NocSimulator
 from repro.noc.topology import CMesh, FlattenedButterfly, Mesh
 from repro.noc.traffic import make_pattern
@@ -28,6 +36,7 @@ def run(
     n_cycles: int = 5000,
     pattern_name: str = "uniform",
     include_routers: Optional[Sequence[int]] = (1, 3),
+    stop_on_saturation: bool = True,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig21",
@@ -40,26 +49,35 @@ def run(
     sim = NocSimulator(n_cycles=n_cycles)
     pattern = make_pattern(pattern_name, 64)
 
+    def add_series(label: str, simulate, **kwargs) -> None:
+        points = load_latency_curve(
+            simulate, rates, stop_on_saturation=stop_on_saturation, **kwargs
+        )
+        for point in points:
+            result.add_row(
+                label,
+                point.injection_rate,
+                point.capped_latency_cycles,
+                point.saturated,
+            )
+
     for router_cycles in include_routers or ():
         for topo in (Mesh(64), CMesh(64), FlattenedButterfly(64)):
-            label = f"{topo.name}_{router_cycles}cyc"
-            for rate in rates:
-                point = sim.simulate_router_network(
-                    topo, pattern, rate,
-                    router_cycles=router_cycles, hops_per_cycle=hpc,
-                )
-                result.add_row(
-                    label, rate, min(point.mean_latency_cycles, 1e6), point.saturated
-                )
+            add_series(
+                f"{topo.name}_{router_cycles}cyc",
+                partial(
+                    sim.simulate_router_network,
+                    topo,
+                    pattern,
+                    router_cycles=router_cycles,
+                    hops_per_cycle=hpc,
+                ),
+            )
 
     for label, bus in (
         ("shared_bus_77K", SharedBusDesign(64)),
         ("cryobus", CryoBusDesign(64)),
         ("cryobus_2way", CryoBusDesign(64, interleave_ways=2)),
     ):
-        for rate in rates:
-            point = sim.simulate_bus(bus, pattern, rate, hops_per_cycle=hpc)
-            result.add_row(
-                label, rate, min(point.mean_latency_cycles, 1e6), point.saturated
-            )
+        add_series(label, partial(sim.simulate_bus, bus, pattern, hops_per_cycle=hpc))
     return result

@@ -22,6 +22,7 @@ def run(
     patterns: Sequence[str] = PATTERNS,
     rates: Sequence[float] = DEFAULT_RATES,
     n_cycles: int = 4000,
+    stop_on_saturation: bool = True,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig25",
@@ -33,7 +34,7 @@ def run(
     for pattern in patterns:
         sub = run_fig21(
             rates=rates, n_cycles=n_cycles, pattern_name=pattern,
-            include_routers=(1,),
+            include_routers=(1,), stop_on_saturation=stop_on_saturation,
         )
         for series, rate, latency, saturated in sub.rows:
             result.add_row(pattern, series, rate, latency, saturated)

@@ -14,6 +14,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.noc.hybrid import HybridCryoBus
 from repro.noc.latency import AnalyticNocModel
+from repro.noc.measure import LATENCY_CAP
 from repro.noc.link import WireLinkModel
 from repro.noc.router import RouterModel
 from repro.noc.topology import CMesh, FlattenedButterfly, Mesh
@@ -49,7 +50,7 @@ def run(rates: Sequence[float] = DEFAULT_RATES) -> ExperimentResult:
         for rate in rates:
             latency = hybrid.mean_latency_cycles(rate * 256, hpc)
             saturated = latency == float("inf")
-            result.add_row(label, rate, min(latency, 1e6), saturated)
+            result.add_row(label, rate, min(latency, LATENCY_CAP), saturated)
 
     for topo in (Mesh(256), CMesh(256, 4), FlattenedButterfly(256, 4)):
         model = AnalyticNocModel(
@@ -60,6 +61,6 @@ def run(rates: Sequence[float] = DEFAULT_RATES) -> ExperimentResult:
             breakdown = model.one_way(rate * 256)
             saturated = breakdown.queueing_cycles == float("inf")
             result.add_row(
-                topo.name, rate, min(breakdown.total_ns * ref_clock, 1e6), saturated
+                topo.name, rate, min(breakdown.total_ns * ref_clock, LATENCY_CAP), saturated
             )
     return result

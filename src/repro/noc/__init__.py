@@ -11,10 +11,17 @@
   dynamic link connection mechanism (cross-link switches).
 * :mod:`repro.noc.traffic` -- synthetic traffic patterns (uniform,
   transpose, hotspot, bit-reverse, burst).
+* :mod:`repro.noc.measure` -- the shared offered/delivered/saturation
+  accounting every latency engine reports through, plus the
+  saturation-aware sweep helper.
 * :mod:`repro.noc.simulator` -- cycle-accurate packet simulator (the
   repo's BookSim) for load-latency sweeps.
+* :mod:`repro.noc.flitsim` -- flit-level wormhole/VC/credit simulator,
+  the BookSim-fidelity reference certifying the packet-level shortcuts.
 * :mod:`repro.noc.latency` -- analytic zero-load + contention models used
   by the system simulator and cross-checked against the simulator.
+* :mod:`repro.noc.equivalence` -- the cross-engine agreement harness
+  (flit vs packet vs analytic, tolerance-banded).
 """
 
 from repro.noc.link import NOC_LINK_CARD, WireLinkModel
@@ -34,11 +41,28 @@ from repro.noc.bus import (
     HTreeBus300K,
     SharedBusDesign,
 )
+from repro.noc.equivalence import (
+    EnginePoint,
+    compare_engines,
+    max_low_load_disagreement,
+)
 from repro.noc.flitsim import FlitLevelSimulator
 from repro.noc.hybrid import HybridCryoBus
+from repro.noc.measure import (
+    LATENCY_CAP,
+    SATURATION_FACTOR,
+    LatencyMeter,
+    LoadLatencyPoint,
+    load_latency_curve,
+)
 from repro.noc.traffic import TrafficPattern, make_pattern
-from repro.noc.simulator import LoadLatencyPoint, NocSimulator
-from repro.noc.latency import AnalyticNocModel, NocLatencyBreakdown
+from repro.noc.simulator import NocSimulator
+from repro.noc.latency import (
+    AnalyticNocModel,
+    NocLatencyBreakdown,
+    analytic_simulator_latency,
+    n_directed_links,
+)
 
 __all__ = [
     "WireLinkModel",
@@ -61,6 +85,15 @@ __all__ = [
     "make_pattern",
     "NocSimulator",
     "LoadLatencyPoint",
+    "LatencyMeter",
+    "load_latency_curve",
+    "LATENCY_CAP",
+    "SATURATION_FACTOR",
     "AnalyticNocModel",
     "NocLatencyBreakdown",
+    "analytic_simulator_latency",
+    "n_directed_links",
+    "EnginePoint",
+    "compare_engines",
+    "max_low_load_disagreement",
 ]

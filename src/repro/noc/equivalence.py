@@ -1,0 +1,147 @@
+"""Cross-engine equivalence harness for the three latency engines.
+
+The repo measures NoC latency three ways -- analytic M/D/1
+(:func:`repro.noc.latency.analytic_simulator_latency`), packet-level
+(:class:`repro.noc.simulator.NocSimulator`) and flit-level
+(:class:`repro.noc.flitsim.FlitLevelSimulator`).  The flit engine exists
+to certify the packet-level shortcuts, and the analytic form is what the
+closed-loop system model runs on, so all three must agree at low load.
+This module is the certification tooling: it runs the same (topology,
+pattern, rate) through both simulators, puts the analytic bound next to
+them, and reports tolerance-banded agreement.  Tests assert on it;
+benchmarks keep it cheap enough to run on every PR.
+
+Agreement is only expected *below* saturation: past the knee the engines
+diverge by design (different drain semantics), and the harness reports
+those points as non-comparable rather than failing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.noc.flitsim import FlitLevelSimulator
+from repro.noc.latency import analytic_simulator_latency
+from repro.noc.measure import LoadLatencyPoint
+from repro.noc.simulator import NocSimulator
+from repro.noc.topology import RouterTopology
+from repro.noc.traffic import TrafficPattern, make_pattern
+
+#: Default relative tolerance for engine agreement at low load.
+DEFAULT_TOLERANCE = 0.15
+
+
+def _rel_diff(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+@dataclass(frozen=True)
+class EnginePoint:
+    """All three engines' answers for one (topology, pattern, rate)."""
+
+    topology_name: str
+    pattern_name: str
+    injection_rate: float
+    flit: LoadLatencyPoint
+    packet: LoadLatencyPoint
+    analytic_cycles: float
+
+    @property
+    def comparable(self) -> bool:
+        """Both simulations measured an unsaturated mean."""
+        return not (self.flit.saturated or self.packet.saturated)
+
+    @property
+    def flit_vs_packet(self) -> float:
+        return _rel_diff(
+            self.flit.mean_latency_cycles, self.packet.mean_latency_cycles
+        )
+
+    @property
+    def flit_vs_analytic(self) -> float:
+        return _rel_diff(self.flit.mean_latency_cycles, self.analytic_cycles)
+
+    @property
+    def packet_vs_analytic(self) -> float:
+        return _rel_diff(self.packet.mean_latency_cycles, self.analytic_cycles)
+
+    @property
+    def max_disagreement(self) -> float:
+        return max(
+            self.flit_vs_packet, self.flit_vs_analytic, self.packet_vs_analytic
+        )
+
+    def within(self, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+        return self.comparable and self.max_disagreement <= tolerance
+
+
+def compare_engines(
+    topology: RouterTopology,
+    rates: Sequence[float],
+    pattern: Optional[TrafficPattern] = None,
+    n_cycles: int = 3000,
+    router_cycles: int = 1,
+    link_cycles: int = 1,
+    packet_flits: int = 1,
+    seed: str = "equiv",
+) -> List[EnginePoint]:
+    """Run flit-level and packet-level engines side by side.
+
+    The packet engine's ``hops_per_cycle`` is pinned so that every hop
+    costs exactly ``link_cycles`` on the wire, mirroring the flit
+    engine's fixed per-hop link stage -- the comparison must not be
+    confounded by two different wire models.
+    """
+    if pattern is None:
+        pattern = make_pattern("uniform", topology.n_nodes)
+    if link_cycles != 1:
+        raise ValueError(
+            "the packet engine quantises links at 1 cycle per 2 mm "
+            "granularity; cross-engine comparison supports link_cycles=1"
+        )
+    flit_sim = FlitLevelSimulator(
+        topology,
+        router_cycles=router_cycles,
+        link_cycles=link_cycles,
+        packet_flits=packet_flits,
+    )
+    packet_sim = NocSimulator(n_cycles=n_cycles, packet_flits=packet_flits)
+    points = []
+    for rate in rates:
+        flit = flit_sim.simulate(pattern, rate, n_cycles=n_cycles, seed=seed)
+        packet = packet_sim.simulate_router_network(
+            topology,
+            pattern,
+            rate,
+            router_cycles=router_cycles,
+            # Large enough that every physical hop fits in one cycle.
+            hops_per_cycle=1_000_000,
+            seed=seed,
+        )
+        analytic = analytic_simulator_latency(
+            topology,
+            rate,
+            router_cycles=router_cycles,
+            link_cycles=link_cycles,
+            packet_flits=packet_flits,
+        )
+        points.append(
+            EnginePoint(
+                topology_name=topology.name,
+                pattern_name=pattern.name,
+                injection_rate=rate,
+                flit=flit,
+                packet=packet,
+                analytic_cycles=analytic,
+            )
+        )
+    return points
+
+
+def max_low_load_disagreement(points: Sequence[EnginePoint]) -> float:
+    """Worst pairwise disagreement across the comparable points."""
+    comparable = [p for p in points if p.comparable]
+    if not comparable:
+        raise ValueError("no unsaturated points to compare")
+    return max(p.max_disagreement for p in comparable)

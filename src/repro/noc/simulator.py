@@ -13,6 +13,10 @@ Two execution engines share one result type:
   wall of Figs. 18/21 comes from. Address interleaving (Section 7.1)
   splits traffic across independent ways.
 
+Offered/delivered/saturation accounting is shared with the flit-level
+engine through :mod:`repro.noc.measure`, so all engines mean the same
+thing by "acceptance" and "saturated".
+
 Latencies are reported in NoC cycles; divide by the design's clock to
 compare fabrics running at different frequencies.
 """
@@ -21,60 +25,25 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.noc.arbiter import MatrixArbiter
 from repro.noc.bus import BusDesign
+from repro.noc.measure import (
+    SATURATION_FACTOR,
+    LatencyMeter,
+    LoadLatencyPoint,
+    load_latency_curve as _load_latency_curve,
+    summarise as _summarise,
+)
 from repro.noc.topology import RouterTopology
 from repro.noc.traffic import TrafficPattern
 
-#: A mean latency above this multiple of zero-load (or undelivered
-#: measured packets) marks the point as saturated.
-SATURATION_FACTOR = 20.0
-
-
-@dataclass(frozen=True)
-class LoadLatencyPoint:
-    """One point of a load-latency curve."""
-
-    injection_rate: float
-    mean_latency_cycles: float
-    p95_latency_cycles: float
-    delivered_packets: int
-    offered_packets: int
-    saturated: bool
-
-    @property
-    def acceptance(self) -> float:
-        if self.offered_packets == 0:
-            return 1.0
-        return self.delivered_packets / self.offered_packets
-
-
-def _summarise(
-    injection_rate: float,
-    latencies: List[int],
-    offered: int,
-    zero_load_estimate: float,
-) -> LoadLatencyPoint:
-    if not latencies:
-        return LoadLatencyPoint(injection_rate, math.inf, math.inf, 0, offered, True)
-    latencies.sort()
-    mean = sum(latencies) / len(latencies)
-    p95 = latencies[min(int(0.95 * len(latencies)), len(latencies) - 1)]
-    saturated = (
-        mean > SATURATION_FACTOR * max(zero_load_estimate, 1.0)
-        or len(latencies) < 0.9 * offered
-    )
-    return LoadLatencyPoint(
-        injection_rate=injection_rate,
-        mean_latency_cycles=mean,
-        p95_latency_cycles=float(p95),
-        delivered_packets=len(latencies),
-        offered_packets=offered,
-        saturated=saturated,
-    )
+__all__ = [
+    "LoadLatencyPoint",
+    "NocSimulator",
+    "SATURATION_FACTOR",
+]
 
 
 class NocSimulator:
@@ -121,20 +90,18 @@ class NocSimulator:
             return max(1, math.ceil(hops / hops_per_cycle))
 
         port_free: Dict[Tuple[int, int], int] = {}
-        latencies: List[int] = []
-        offered = 0
+        meter = LatencyMeter(self.warmup)
         horizon = self.n_cycles * 4  # drain window after injection stops
 
         # Events: (time, seq, inject_time, measured, route_hops, hop_idx).
         events: List[Tuple[int, int, int, bool, tuple, int]] = []
         seq = 0
         for cycle, src, dst in pattern.packets(injection_rate, self.n_cycles, seed):
-            measured = cycle >= self.warmup
-            offered += 1 if measured else 0
+            measured = meter.offer(cycle)
             route = tuple(topology.route(topology.router_of(src), topology.router_of(dst)))
             if not route:  # same router: injection + ejection only
                 if measured:
-                    latencies.append(2 + self.packet_flits - 1)
+                    meter.deliver_local(self.packet_flits)
                 continue
             heapq.heappush(events, (cycle + 1, seq, cycle, measured, route, 0))
             seq += 1
@@ -154,10 +121,10 @@ class NocSimulator:
             elif measured:
                 # Ejection (1 cycle) plus tail-flit serialisation.
                 done = arrival + 1 + (self.packet_flits - 1)
-                latencies.append(done - inject)
+                meter.deliver(inject, done)
 
         zero_load = router_cycles * (topology.average_hops() + 1) + topology.average_hops()
-        return _summarise(injection_rate, latencies, offered, zero_load)
+        return meter.summarise(injection_rate, zero_load)
 
     # ------------------------------------------------------------------
     # buses
@@ -180,13 +147,11 @@ class NocSimulator:
         # Split traffic across interleaved ways (by destination id --
         # a stand-in for address bits).
         ways: List[List[Tuple[int, int]]] = [[] for _ in range(bus.interleave_ways)]
-        offered = 0
+        meter = LatencyMeter(self.warmup)
         for cycle, src, dst in pattern.packets(injection_rate, self.n_cycles, seed):
-            if cycle >= self.warmup:
-                offered += 1
+            meter.offer(cycle)
             ways[dst % bus.interleave_ways].append((cycle, src))
 
-        latencies: List[int] = []
         for way_packets in ways:
             arbiter = MatrixArbiter(bus.n_nodes)
             pending: List[Tuple[int, int, int]] = []  # (ready, seq, idx)
@@ -195,6 +160,13 @@ class NocSimulator:
             now = 0
             seq = 0
             while idx < len(way_packets) or pending:
+                if now > horizon:
+                    # A saturated way would otherwise grind through every
+                    # admitted packet serially; nothing past the horizon
+                    # can be recorded, so the remainder counts as
+                    # undelivered (same semantics as the router engine's
+                    # drop path).
+                    break
                 # Admit every request that is ready by `now`.
                 while idx < len(way_packets) and way_packets[idx][0] + overhead <= now:
                     ready = way_packets[idx][0] + overhead
@@ -218,18 +190,26 @@ class NocSimulator:
                 finish = start + broadcast
                 inject_cycle = way_packets[win_idx][0]
                 if inject_cycle >= self.warmup and finish <= horizon:
-                    latencies.append(finish - inject_cycle)
+                    meter.deliver(inject_cycle, finish)
                 now = finish
 
         zero_load = overhead + broadcast
-        return _summarise(injection_rate, latencies, offered, zero_load)
+        return meter.summarise(injection_rate, zero_load)
 
     # ------------------------------------------------------------------
     def load_latency_curve(
         self,
         simulate,
-        rates: List[float],
+        rates: Sequence[float],
+        stop_on_saturation: bool = True,
         **kwargs,
     ) -> List[LoadLatencyPoint]:
-        """Sweep injection rates with either engine (bound via partial)."""
-        return [simulate(injection_rate=rate, **kwargs) for rate in rates]
+        """Sweep injection rates with either engine (bound via partial).
+
+        Delegates to :func:`repro.noc.measure.load_latency_curve`: once a
+        rate saturates, higher rates are synthesised instead of simulated
+        (pass ``stop_on_saturation=False`` to force every point).
+        """
+        return _load_latency_curve(
+            simulate, rates, stop_on_saturation=stop_on_saturation, **kwargs
+        )

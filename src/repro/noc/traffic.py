@@ -109,7 +109,12 @@ def _hotspot(
 
     def pick(src: int, rng: np.random.Generator) -> int:
         if rng.random() < hot_fraction:
-            return hot[int(rng.integers(0, n_hot))]
+            # A hot source must not draw itself: the dst != src filter
+            # would silently drop the packet, deflating the effective
+            # hotspot fraction (and the offered load) below nominal.
+            others = [node for node in hot if node != src]
+            if others:
+                return others[int(rng.integers(0, len(others)))]
         return uniform(src, rng)
 
     return pick

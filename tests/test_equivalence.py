@@ -1,0 +1,83 @@
+"""Cross-engine agreement: flit vs packet vs analytic at low load."""
+
+import math
+
+import pytest
+
+from repro.noc.equivalence import (
+    DEFAULT_TOLERANCE,
+    compare_engines,
+    max_low_load_disagreement,
+)
+from repro.noc.latency import analytic_simulator_latency, n_directed_links
+from repro.noc.topology import CMesh, Mesh
+
+LOW_RATES = (0.002, 0.005, 0.01)
+
+
+@pytest.fixture(scope="module")
+def mesh_points():
+    return compare_engines(Mesh(64), LOW_RATES, n_cycles=3000)
+
+
+@pytest.fixture(scope="module")
+def cmesh_points():
+    return compare_engines(CMesh(64), LOW_RATES, n_cycles=3000)
+
+
+class TestThreeEngineAgreement:
+    def test_mesh_within_tolerance(self, mesh_points):
+        assert max_low_load_disagreement(mesh_points) <= DEFAULT_TOLERANCE
+
+    def test_cmesh_within_tolerance(self, cmesh_points):
+        assert max_low_load_disagreement(cmesh_points) <= DEFAULT_TOLERANCE
+
+    def test_all_low_load_points_comparable(self, mesh_points, cmesh_points):
+        for point in (*mesh_points, *cmesh_points):
+            assert point.comparable, (
+                f"{point.topology_name} saturated at rate "
+                f"{point.injection_rate} -- not a low-load point"
+            )
+
+    def test_within_reports_per_point(self, mesh_points):
+        assert all(p.within() for p in mesh_points)
+        assert not any(p.within(tolerance=0.0) for p in mesh_points)
+
+    def test_pairwise_diffs_consistent(self, mesh_points):
+        for p in mesh_points:
+            assert p.max_disagreement == max(
+                p.flit_vs_packet, p.flit_vs_analytic, p.packet_vs_analytic
+            )
+
+
+class TestHarnessPlumbing:
+    def test_rejects_multi_cycle_links(self):
+        with pytest.raises(ValueError):
+            compare_engines(Mesh(16), (0.01,), link_cycles=2)
+
+    def test_no_comparable_points_is_an_error(self):
+        points = compare_engines(Mesh(16), (0.9,), n_cycles=1500, packet_flits=4)
+        if all(not p.comparable for p in points):
+            with pytest.raises(ValueError):
+                max_low_load_disagreement(points)
+
+
+class TestAnalyticSimulatorLatency:
+    def test_matches_topology_structure(self):
+        mesh = Mesh(16)
+        # 4x4 mesh: 2 * (2 * 4 * 3) = 48 directed links.
+        assert n_directed_links(mesh) == 48
+
+    def test_zero_load_base(self):
+        mesh = Mesh(16)
+        base = analytic_simulator_latency(mesh, 1e-9)
+        # 1.5 endpoint cycles + hops * (router + link), single-flit packets.
+        assert base == pytest.approx(1.5 + mesh.average_hops() * 2, rel=1e-3)
+
+    def test_monotone_in_rate(self):
+        mesh = Mesh(64)
+        lat = [analytic_simulator_latency(mesh, r) for r in (0.001, 0.01, 0.05)]
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_infinite_past_capacity(self):
+        assert math.isinf(analytic_simulator_latency(Mesh(64), 1.0))

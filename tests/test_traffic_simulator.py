@@ -55,6 +55,26 @@ class TestTrafficPatterns:
             hits += dst in hot_targets
         assert hits / total > 0.25  # ~30 % by construction
 
+    def test_hotspot_fraction_not_deflated_by_self_draws(self):
+        """A hot source drawing itself must redraw among the other hot
+        nodes, not fall back to uniform -- otherwise the effective
+        hotspot fraction (and offered load) lands below nominal."""
+        pattern = make_pattern("hotspot", 64)
+        hot_targets = {0, 16, 32, 48}
+        hits = total = 0
+        for _, src, dst in pattern.packets(0.05, 4000):
+            if src not in hot_targets:
+                continue
+            total += 1
+            hits += dst in hot_targets
+        # Hot sources see the same ~30 % bias as everyone else.
+        assert hits / total > 0.25
+
+    def test_hotspot_never_self_addressed(self):
+        pattern = make_pattern("hotspot", 16)
+        for _, src, dst in pattern.packets(0.3, 500):
+            assert src != dst
+
     def test_deterministic_given_seed(self):
         pattern = make_pattern("uniform", 16)
         first = list(pattern.packets(0.05, 100, seed="s"))
@@ -173,6 +193,15 @@ class TestBusSim:
             sim.simulate_bus(
                 CryoBusDesign(64), make_pattern("uniform", 16), 0.01, hops_per_cycle=12
             )
+
+    def test_saturated_bus_counts_backlog_as_undelivered(self, sim):
+        """The serial drain stops at the horizon; the backlog shows up
+        as lost acceptance instead of inflating the drain time."""
+        point = sim.simulate_bus(
+            SharedBusDesign(64), make_pattern("uniform", 64), 0.02, hops_per_cycle=4
+        )
+        assert point.saturated
+        assert point.delivered_packets < point.offered_packets
 
 
 class TestSimulatorValidation:
