@@ -1,0 +1,101 @@
+"""Warm-vs-cold TechContext benchmarks.
+
+Two measurements:
+
+* an operating-point sweep over the wire/link/router physics -- the
+  workload the memoized context exists for -- where a warm context must
+  be *several times* faster than a cold one;
+* the full Table 4 evaluation (5 systems x the PARSEC suite, the
+  Fig. 17/23 workload), where the physics is a small slice of the
+  fixed-point arithmetic: the warm win is modest but the hit counters
+  must prove every derivation was reused rather than recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.noc.link import WireLinkModel
+from repro.noc.router import RouterModel
+from repro.system.config import EVALUATION_SYSTEMS
+from repro.system.multicore import MulticoreSystem
+from repro.tech import CryoWireModel, OperatingPoint, TechContext, use_context
+from repro.workloads.profiles import PARSEC_2_1
+
+
+def _physics_sweep() -> float:
+    """Re-price wires, links and routers across a temperature sweep."""
+    wires = CryoWireModel()
+    links = WireLinkModel()
+    router = RouterModel()
+    acc = 0.0
+    for t in range(77, 301, 8):
+        op = OperatingPoint.at(float(t))
+        for length_um in (500.0, 1000.0, 2000.0, 4000.0, 6220.0):
+            acc += wires.repeated_delay("global", length_um, op)
+            acc += wires.unrepeated_delay("semi_global", length_um, op)
+        acc += links.hop_delay_ns(op)
+        acc += router.frequency_ghz(op)
+    return acc
+
+
+def _table4_suite() -> None:
+    for config in EVALUATION_SYSTEMS:
+        MulticoreSystem(config).evaluate_suite(PARSEC_2_1)
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_operating_point_sweep_warm_vs_cold(benchmark):
+    with use_context(TechContext()) as ctx:
+        start = time.perf_counter()
+        cold_value = _physics_sweep()
+        cold_s = time.perf_counter() - start
+        cold_stats = ctx.stats()
+
+        warm_value = benchmark(_physics_sweep)
+        warm_s = _best_of(_physics_sweep)
+        warm_stats = ctx.stats()
+
+    print()
+    print(f"cold sweep: {cold_s * 1e3:.2f} ms ({cold_stats.misses} derivations)")
+    print(f"warm sweep: {warm_s * 1e3:.2f} ms")
+    print(warm_stats.to_text())
+    assert warm_value == cold_value  # memoization is transparent
+    assert cold_stats.misses > 100  # the sweep really derives physics
+    # Every warm lookup hit; nothing was re-derived.
+    assert warm_stats.misses == cold_stats.misses
+    assert warm_stats.hits > cold_stats.hits
+    assert warm_s < cold_s / 2.0, "warm context should be several times faster"
+
+
+def test_table4_suite_context_reuse(benchmark):
+    ctx = TechContext()
+    with use_context(ctx):
+        def cold() -> None:
+            ctx.clear()
+            _table4_suite()
+
+        cold_s = _best_of(cold)
+        cold_stats = ctx.stats()
+
+        warm_s = _best_of(_table4_suite)
+        benchmark.pedantic(_table4_suite, rounds=1, iterations=1)
+        warm_stats = ctx.stats()
+
+    print()
+    print(f"cold suite: {cold_s * 1e3:.1f} ms   warm suite: {warm_s * 1e3:.1f} ms")
+    print(warm_stats.to_text())
+    # Counters prove reuse: the warm passes re-derived nothing.
+    assert warm_stats.misses == cold_stats.misses
+    assert warm_stats.hits > cold_stats.hits
+    # The suite is fixed-point-arithmetic-bound, so the warm win is small
+    # but must not regress into a slowdown.
+    assert warm_s <= cold_s * 1.05

@@ -16,6 +16,7 @@ from repro.circuits.rc_line import RCLadder
 from repro.tech.constants import T_ROOM
 from repro.tech.metal import FREEPDK45_STACK, WireTechnology
 from repro.tech.mosfet import CryoMOSFET, INDUSTRY_2Z_CARD, MOSFETCard
+from repro.tech.operating_point import OperatingPointLike, as_operating_point
 from repro.tech.repeater import (
     DRIVER_CG_FF,
     DRIVER_CP_FF,
@@ -61,10 +62,10 @@ class CircuitSimulator:
         self.n_sections = n_sections
 
     def _wire_rc(
-        self, layer_name: str, length_um: float, temperature_k: float
+        self, layer_name: str, length_um: float, op: OperatingPointLike
     ) -> tuple[float, float]:
         layer = self.stack.layer(layer_name)
-        total_r = layer.resistance_per_um(temperature_k) * length_um
+        total_r = layer.resistance_per_um(op) * length_um
         total_c = layer.capacitance_f_per_um * length_um * 1e-15  # F
         return total_r, total_c
 
@@ -72,7 +73,7 @@ class CircuitSimulator:
         self,
         layer_name: str,
         length_um: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         *,
         driver_r_ohm: float,
         load_c_f: float = 0.0,
@@ -80,7 +81,7 @@ class CircuitSimulator:
         """t50 (ns) of one wire driven through ``driver_r_ohm``."""
         if length_um <= 0:
             raise ValueError("length must be positive")
-        total_r, total_c = self._wire_rc(layer_name, length_um, temperature_k)
+        total_r, total_c = self._wire_rc(layer_name, length_um, as_operating_point(op))
         n = self.n_sections
         sections = [(total_r / n, total_c / n)] * n
         ladder = RCLadder(driver_r_ohm, sections, load_c_f)
@@ -92,7 +93,7 @@ class CircuitSimulator:
         length_um: float,
         n_repeaters: int,
         repeater_size: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> WireSimResult:
@@ -104,7 +105,8 @@ class CircuitSimulator:
         """
         if n_repeaters < 1:
             raise ValueError("need at least the source driver")
-        delay_factor = self.driver.gate_delay_factor(temperature_k, vdd_v, vth_v)
+        op = as_operating_point(op, vdd_v, vth_v)
+        delay_factor = self.driver.gate_delay_factor(op)
         r_unit = self.driver_r0_ohm * delay_factor
         r_drv = r_unit / repeater_size
         # The segment load: next repeater's input gate (final segment uses
@@ -114,7 +116,7 @@ class CircuitSimulator:
         seg_delay = self.simulate_driven_wire(
             layer_name,
             seg_len,
-            temperature_k,
+            op,
             driver_r_ohm=r_drv,
             load_c_f=load_c,
         )
@@ -123,7 +125,7 @@ class CircuitSimulator:
         return WireSimResult(
             layer_name=layer_name,
             length_um=length_um,
-            temperature_k=temperature_k,
+            temperature_k=op.temperature_k,
             n_repeaters=n_repeaters,
             delay_ns=total,
         )
@@ -131,22 +133,23 @@ class CircuitSimulator:
     def simulate_design(
         self,
         design: RepeaterDesign,
-        temperature_k: Optional[float] = None,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> WireSimResult:
         """Re-simulate a :class:`RepeaterDesign` at circuit level.
 
         This is the validation path (Fig. 10): the analytical optimiser
-        proposes a design, and the transient solver measures it.
+        proposes a design, and the transient solver measures it. With no
+        operating point given, the design's own temperature is reused.
         """
-        temp = design.temperature_k if temperature_k is None else temperature_k
+        op = as_operating_point(
+            op, vdd_v, vth_v, default_temperature_k=design.temperature_k
+        )
         return self.simulate_repeated_wire(
             design.layer_name,
             design.length_um,
             design.n_repeaters,
             design.repeater_size,
-            temp,
-            vdd_v,
-            vth_v,
+            op,
         )

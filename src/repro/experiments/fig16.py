@@ -22,9 +22,7 @@ from repro.tech.constants import T_LN2, T_ROOM
 
 def _fabrics(temperature_k: float):
     op = OP_NOC_300K if temperature_k >= 200 else OP_NOC_77K
-    common = dict(
-        temperature_k=temperature_k, vdd_v=op.vdd_v, vth_v=op.vth_v
-    )
+    common = dict(op=op)
     return (
         ("mesh", AnalyticNocModel(topology=Mesh(64), **common), "directory"),
         ("flattened_butterfly",

@@ -54,8 +54,7 @@ def run(rates: Sequence[float] = DEFAULT_RATES) -> ExperimentResult:
 
     for topo in (Mesh(256), CMesh(256, 4), FlattenedButterfly(256, 4)):
         model = AnalyticNocModel(
-            topology=topo, temperature_k=T_LN2, vdd_v=op.vdd_v, vth_v=op.vth_v,
-            router=RouterModel(pipeline_cycles=3),
+            topology=topo, op=op, router=RouterModel(pipeline_cycles=3),
         )
         for rate in rates:
             breakdown = model.one_way(rate * 256)

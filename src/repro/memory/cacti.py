@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.tech.constants import T_ROOM
-from repro.tech.mosfet import CryoMOSFET, FREEPDK45_CARD, MOSFETCard
+from repro.tech.mosfet import FREEPDK45_CARD, MOSFETCard, cryo_mosfet
+from repro.tech.operating_point import OperatingPointLike, as_operating_point
 from repro.tech.wire import CryoWireModel
 
 #: Silicon area per kilobyte of SRAM at the modelled node (mm^2/KB).
@@ -72,7 +73,7 @@ class CactiModel:
         logic_card: MOSFETCard = FREEPDK45_CARD,
     ):
         self.wires = wire_model if wire_model is not None else CryoWireModel()
-        self.logic = CryoMOSFET(logic_card)
+        self.logic = cryo_mosfet(logic_card)
 
     # ------------------------------------------------------------------
     def _bank_geometry_um(self, size_kb: int, n_banks: int) -> float:
@@ -92,7 +93,7 @@ class CactiModel:
         self,
         size_kb: int,
         n_banks: int,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> CacheTiming:
@@ -103,8 +104,9 @@ class CactiModel:
             raise ValueError("bank count must be a positive power of two")
         if size_kb < n_banks:
             raise ValueError("banks cannot be smaller than 1 KB")
+        op = as_operating_point(op, vdd_v, vth_v)
 
-        gate = self.logic.gate_delay_factor(temperature_k, vdd_v, vth_v)
+        gate = self.logic.gate_delay_factor(op)
         address_bits = math.log2(size_kb * 1024 / n_banks)
         decode = DECODE_NS_PER_BIT * address_bits * gate
         sense = SENSE_NS * gate
@@ -115,21 +117,17 @@ class CactiModel:
         array = (
             ARRAY_WIRE_LOAD
             * 2.0
-            * self.wires.unrepeated_breakdown(
-                "local", bank_edge, temperature_k, vdd_v, vth_v
-            ).wire_ns
+            * self.wires.unrepeated_breakdown("local", bank_edge, op).wire_ns
         )
         routing_len = self._routing_length_um(size_kb, n_banks)
         routing = (
-            self.wires.unrepeated_delay(
-                "semi_global", routing_len, temperature_k, vdd_v, vth_v
-            )
+            self.wires.unrepeated_delay("semi_global", routing_len, op)
             if routing_len > 0
             else 0.0
         )
         return CacheTiming(
             size_kb=size_kb,
-            temperature_k=temperature_k,
+            temperature_k=op.temperature_k,
             n_banks=n_banks,
             decode_ns=decode,
             array_wire_ns=array,
@@ -140,32 +138,31 @@ class CactiModel:
     def optimize(
         self,
         size_kb: int,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
         max_banks: int = 64,
     ) -> CacheTiming:
         """Pick the latency-optimal bank count (CACTI's inner loop)."""
+        op = as_operating_point(op, vdd_v, vth_v)
         best: Optional[CacheTiming] = None
         n_banks = 1
         while n_banks <= min(max_banks, size_kb):
-            timing = self.timing_with_banks(
-                size_kb, n_banks, temperature_k, vdd_v, vth_v
-            )
+            timing = self.timing_with_banks(size_kb, n_banks, op)
             if best is None or timing.access_ns < best.access_ns:
                 best = timing
             n_banks *= 2
         assert best is not None
         return best
 
-    def speedup(self, size_kb: int, temperature_k: float) -> float:
-        """Access-time speed-up at ``temperature_k`` vs 300 K.
+    def speedup(self, size_kb: int, op: OperatingPointLike) -> float:
+        """Access-time speed-up at the operating point vs 300 K.
 
         Both points re-optimise banking, mirroring the paper's
         temperature-optimal design methodology.
         """
         warm = self.optimize(size_kb, T_ROOM).access_ns
-        cold = self.optimize(size_kb, temperature_k).access_ns
+        cold = self.optimize(size_kb, as_operating_point(op)).access_ns
         return warm / cold
 
     def table4_check(self) -> Tuple[float, float, float]:

@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.constants import T_LN2, T_ROOM, check_temperature
-from repro.tech.mosfet import CryoMOSFET, FREEPDK45_CARD, MOSFETCard
+from repro.tech.mosfet import FREEPDK45_CARD, MOSFETCard, cryo_mosfet
+from repro.tech.operating_point import OperatingPointLike, as_operating_point
 
 #: 300 K component split of a 60.32 ns random access (ns).
 PERIPHERY_NS_300K = 4.0
@@ -53,7 +54,7 @@ class CllDramModel:
     """Temperature-dependent DRAM access-time model."""
 
     def __init__(self, logic_card: MOSFETCard = FREEPDK45_CARD):
-        self.logic = CryoMOSFET(logic_card)
+        self.logic = cryo_mosfet(logic_card)
 
     def _component_factor(self, speedup_77k: float, temperature_k: float) -> float:
         """Linear-in-T interpolation of a component's delay factor."""
@@ -61,22 +62,23 @@ class CllDramModel:
         speedup = 1.0 + (speedup_77k - 1.0) * fraction
         return 1.0 / speedup
 
-    def timing(self, temperature_k: float = T_ROOM) -> DramTiming:
-        check_temperature(temperature_k)
-        periphery = PERIPHERY_NS_300K * self.logic.gate_delay_factor(temperature_k)
+    def timing(self, op: OperatingPointLike = T_ROOM) -> DramTiming:
+        op = as_operating_point(op)
+        check_temperature(op.temperature_k)
+        periphery = PERIPHERY_NS_300K * self.logic.gate_delay_factor(op)
         array = ARRAY_RC_NS_300K * self._component_factor(
-            ARRAY_SPEEDUP_77K, temperature_k
+            ARRAY_SPEEDUP_77K, op.temperature_k
         )
         sensing = SENSING_NS_300K * self._component_factor(
-            SENSING_SPEEDUP_77K, temperature_k
+            SENSING_SPEEDUP_77K, op.temperature_k
         )
         return DramTiming(
-            temperature_k=temperature_k,
+            temperature_k=op.temperature_k,
             periphery_ns=periphery,
             array_rc_ns=array,
             sensing_ns=sensing,
         )
 
-    def speedup(self, temperature_k: float) -> float:
-        """Random-access speed-up at ``temperature_k`` vs 300 K."""
-        return self.timing(T_ROOM).access_ns / self.timing(temperature_k).access_ns
+    def speedup(self, op: OperatingPointLike) -> float:
+        """Random-access speed-up at the operating point vs 300 K."""
+        return self.timing(T_ROOM).access_ns / self.timing(as_operating_point(op)).access_ns

@@ -22,6 +22,11 @@ from repro.noc.link import WireLinkModel
 from repro.noc.router import RouterModel
 from repro.noc.topology import RouterTopology
 from repro.tech.constants import T_ROOM
+from repro.tech.operating_point import (
+    OperatingPoint,
+    OperatingPointLike,
+    as_operating_point,
+)
 
 #: Per-port clock penalty of routers beyond the 5-port mesh baseline.
 RADIX_CLOCK_PENALTY = 0.04
@@ -131,7 +136,8 @@ class AnalyticNocModel:
         *,
         topology: Optional[RouterTopology] = None,
         bus: Optional[BusDesign] = None,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = None,
+        temperature_k: Optional[float] = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
         router: Optional[RouterModel] = None,
@@ -141,15 +147,24 @@ class AnalyticNocModel:
     ):
         if (topology is None) == (bus is None):
             raise ValueError("provide exactly one of topology= or bus=")
+        # ``op=`` is the canonical way to place the fabric on the
+        # (T, V_dd, V_th) surface; the scalar keywords are the legacy shim.
+        if op is not None and temperature_k is not None:
+            raise TypeError("pass op= or the legacy temperature_k=, not both")
+        if op is None:
+            op = as_operating_point(temperature_k, vdd_v, vth_v)
+        else:
+            op = as_operating_point(op, vdd_v, vth_v)
+        self.op: OperatingPoint = op
         self.topology = topology
         self.bus = bus
-        self.temperature_k = temperature_k
+        self.temperature_k = op.temperature_k
         self.packet_flits = packet_flits
         self.links = link_model if link_model is not None else WireLinkModel()
         # Link repeaters sit in their own supply domain; the NoC logic
         # voltage scaling applies to routers, not to the wire links.
         self.hops_per_cycle = self.links.hops_per_cycle(
-            temperature_k, reference_clock_ghz
+            as_operating_point(op.temperature_k), reference_clock_ghz
         )
         if topology is not None:
             self.router = router if router is not None else RouterModel()
@@ -158,9 +173,7 @@ class AnalyticNocModel:
             # grow with port count.
             radix = getattr(topology, "router_radix", 5)
             radix_factor = 1.0 / (1.0 + RADIX_CLOCK_PENALTY * max(radix - 5, 0))
-            self.clock_ghz = (
-                self.router.frequency_ghz(temperature_k, vdd_v, vth_v) * radix_factor
-            )
+            self.clock_ghz = self.router.frequency_ghz(op) * radix_factor
         else:
             self.router = None
             # A bus has no clocked routers; transfers are timed against

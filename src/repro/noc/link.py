@@ -8,6 +8,12 @@ energy-delay, and their drive improves ~2.0x at 77 K rather than 2.4x),
 which reproduces the published 3.05x link speed-up at 77 K (Fig. 10)
 versus the 3.38x of the latency-optimal global wire.
 
+Links are priced at an :class:`~repro.tech.operating_point.OperatingPoint`
+(legacy temperature/voltage scalars still work through the shim); the
+underlying repeater optimisations are memoized in the active
+:class:`~repro.tech.context.TechContext`, so re-pricing the same hop at
+the same point is a cache hit.
+
 Anchors (Section 5.1): a 2 mm inter-router hop costs ~0.064 ns at 300 K,
 so a 4 GHz cycle covers 4 hops at 300 K and 12 hops at 77 K.
 """
@@ -20,6 +26,7 @@ from typing import Optional
 from repro.tech.constants import T_ROOM
 from repro.tech.metal import FREEPDK45_STACK, WireTechnology
 from repro.tech.mosfet import MOSFETCard
+from repro.tech.operating_point import OperatingPointLike, as_operating_point
 from repro.tech.repeater import RepeaterOptimizer
 
 #: CACTI-style link buffers: industry-class transistors sized for
@@ -56,7 +63,7 @@ class LinkTiming:
 
 
 class WireLinkModel:
-    """Latency of repeated global-wire links at temperature."""
+    """Latency of repeated global-wire links at an operating point."""
 
     def __init__(
         self,
@@ -68,46 +75,43 @@ class WireLinkModel:
     def timing(
         self,
         length_mm: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> LinkTiming:
         """Optimise and time a link of ``length_mm`` at the given point."""
         if length_mm <= 0:
             raise ValueError("length must be positive")
-        design = self._optimizer.optimize(
-            length_mm * 1000.0, temperature_k, vdd_v, vth_v
-        )
+        op = as_operating_point(op, vdd_v, vth_v)
+        design = self._optimizer.optimize(length_mm * 1000.0, op)
         return LinkTiming(
             length_mm=length_mm,
-            temperature_k=temperature_k,
+            temperature_k=op.temperature_k,
             delay_ns=design.delay_ns,
             n_repeaters=design.n_repeaters,
         )
 
     def hop_delay_ns(
         self,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
         """Delay of one standard 2 mm hop at the operating point."""
-        return self.timing(HOP_LENGTH_MM, temperature_k, vdd_v, vth_v).delay_ns
+        return self.timing(HOP_LENGTH_MM, op, vdd_v, vth_v).delay_ns
 
     def hops_per_cycle(
         self,
-        temperature_k: float,
+        op: OperatingPointLike,
         clock_ghz: float = 4.0,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> int:
         """The paper's '4-hop/cycle at 300 K, 12-hop/cycle at 77 K' figure."""
-        return self.timing(HOP_LENGTH_MM, temperature_k, vdd_v, vth_v).hops_per_cycle(
-            clock_ghz
-        )
+        return self.timing(HOP_LENGTH_MM, op, vdd_v, vth_v).hops_per_cycle(clock_ghz)
 
-    def speedup(self, length_mm: float, temperature_k: float) -> float:
+    def speedup(self, length_mm: float, op: OperatingPointLike) -> float:
         """Link speed-up versus 300 K (the Fig. 10 validation quantity)."""
         base = self.timing(length_mm, T_ROOM).delay_ns
-        cold = self.timing(length_mm, temperature_k).delay_ns
+        cold = self.timing(length_mm, as_operating_point(op)).delay_ns
         return base / cold

@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.tech.constants import T_ROOM
-from repro.tech.mosfet import CryoMOSFET, FREEPDK45_CARD, MOSFETCard
+from repro.tech.context import get_context
+from repro.tech.mosfet import FREEPDK45_CARD, MOSFETCard, cryo_mosfet
+from repro.tech.operating_point import (
+    OperatingPoint,
+    OperatingPointLike,
+    as_operating_point,
+)
 
 #: Share of the router's critical path that is wire (EVA-class VC router
 #: synthesised at 45 nm: short intra-router nets only).
@@ -56,31 +62,36 @@ class RouterModel:
 
     def frequency_ghz(
         self,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
         """Maximum router clock at the operating point.
 
         The critical path mixes transistor and (short) wire delay; each
-        component scales with its own cryogenic speed-up.
+        component scales with its own cryogenic speed-up. Memoized per
+        ``(router design, op)`` -- the model is a frozen dataclass.
         """
-        mosfet = CryoMOSFET(self.card)
-        transistor_part = (1.0 - ROUTER_WIRE_FRACTION) * mosfet.gate_delay_factor(
-            temperature_k, vdd_v, vth_v
+        op = as_operating_point(op, vdd_v, vth_v)
+        return get_context().memo(
+            ("router_freq", self, op.key), lambda: self._frequency_ghz(op)
         )
-        wire_part = ROUTER_WIRE_FRACTION / self._wire_speedup(temperature_k)
+
+    def _frequency_ghz(self, op: OperatingPoint) -> float:
+        mosfet = cryo_mosfet(self.card)
+        transistor_part = (1.0 - ROUTER_WIRE_FRACTION) * mosfet.gate_delay_factor(op)
+        wire_part = ROUTER_WIRE_FRACTION / self._wire_speedup(op.temperature_k)
         return self.base_frequency_ghz / (transistor_part + wire_part)
 
-    def speedup(self, temperature_k: float) -> float:
+    def speedup(self, op: OperatingPointLike) -> float:
         """Frequency gain versus 300 K at nominal voltage (~9 % at 77 K)."""
-        return self.frequency_ghz(temperature_k) / self.frequency_ghz(T_ROOM)
+        return self.frequency_ghz(as_operating_point(op)) / self.frequency_ghz(T_ROOM)
 
     def traversal_ns(
         self,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
         """Time for one packet head to cross the router pipeline."""
-        return self.pipeline_cycles / self.frequency_ghz(temperature_k, vdd_v, vth_v)
+        return self.pipeline_cycles / self.frequency_ghz(op, vdd_v, vth_v)

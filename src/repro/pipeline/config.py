@@ -5,13 +5,26 @@ A :class:`CoreConfig` captures the *structural* parameters of a core
 captures the *electrical* ones (temperature, V_dd, V_th). The critical-
 path model takes both, because structure sets wire lengths and logic
 sizes while the operating point sets device speed.
+
+:class:`OperatingPoint` itself (and the named Table 3 / Table 4 points)
+now lives in :mod:`repro.tech.operating_point` -- the whole physical
+stack speaks it, not just the pipeline. The re-exports below keep every
+pre-existing import path working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.tech.constants import T_LN2, T_ROOM
+from repro.tech.operating_point import (  # noqa: F401  (compat re-exports)
+    OP_300K_NOMINAL,
+    OP_77K_NOMINAL,
+    OP_CHP,
+    OP_CRYOSP,
+    OP_NOC_300K,
+    OP_NOC_77K,
+    OperatingPoint,
+)
 
 
 @dataclass(frozen=True)
@@ -82,24 +95,6 @@ class CoreConfig:
         )
 
 
-@dataclass(frozen=True)
-class OperatingPoint:
-    """Electrical operating point of a voltage/temperature domain."""
-
-    name: str
-    temperature_k: float
-    vdd_v: float
-    vth_v: float
-
-    def __post_init__(self) -> None:
-        if self.vdd_v <= self.vth_v:
-            raise ValueError(f"{self.name}: Vdd must exceed Vth")
-
-    @property
-    def is_cryogenic(self) -> bool:
-        return self.temperature_k < 200.0
-
-
 # ----------------------------------------------------------------------
 # The named designs of Table 3
 # ----------------------------------------------------------------------
@@ -133,13 +128,3 @@ CRYO_CORE_CONFIG = CoreConfig(
 
 #: CHP-core is structurally CryoCore (its gains come from V scaling).
 CHP_CORE_CONFIG = CRYO_CORE_CONFIG
-
-
-# Operating points of Table 3 / Table 4.
-OP_300K_NOMINAL = OperatingPoint("300K nominal", T_ROOM, vdd_v=1.25, vth_v=0.47)
-OP_77K_NOMINAL = OperatingPoint("77K nominal", T_LN2, vdd_v=1.25, vth_v=0.47)
-OP_CHP = OperatingPoint("77K CHP voltage", T_LN2, vdd_v=0.75, vth_v=0.25)
-OP_CRYOSP = OperatingPoint("77K CryoSP voltage", T_LN2, vdd_v=0.64, vth_v=0.25)
-#: NoC / LLC shared voltage domain at 77 K (Table 4).
-OP_NOC_77K = OperatingPoint("77K NoC voltage", T_LN2, vdd_v=0.55, vth_v=0.225)
-OP_NOC_300K = OperatingPoint("300K NoC voltage", T_ROOM, vdd_v=1.0, vth_v=0.468)

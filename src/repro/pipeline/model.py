@@ -121,14 +121,10 @@ class PipelineModel:
         self, spec: StageSpec, config: CoreConfig, op: OperatingPoint
     ) -> StageDelay:
         """Resolve one stage at (config, op)."""
-        transistor = spec.transistor_delay_ps(config) * self.logic.gate_delay_factor(
-            op.temperature_k, op.vdd_v, op.vth_v
-        )
+        transistor = spec.transistor_delay_ps(config) * self.logic.gate_delay_factor(op)
         forwarding = self.floorplan.forwarding_wire_length_um(config)
         length = spec.wire.length_um(config, forwarding)
-        breakdown = self.wires.unrepeated_breakdown(
-            spec.wire.layer, length, op.temperature_k, op.vdd_v, op.vth_v
-        )
+        breakdown = self.wires.unrepeated_breakdown(spec.wire.layer, length, op)
         # The wire component (driver + flight) is reported as Design
         # Compiler would report net delay: it belongs to the wire bucket.
         wire_ps = NODE_SCALE * breakdown.total_ns * 1e3

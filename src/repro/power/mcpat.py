@@ -95,7 +95,7 @@ class CorePowerModel:
         return self.DYNAMIC_FRACTION * self.capacitance_rel(config) * v_ratio**2 * f_ratio
 
     def static_rel(self, config: CoreConfig, op: OperatingPoint) -> float:
-        leak = self.mosfet.leakage_factor(op.temperature_k, op.vdd_v, op.vth_v)
+        leak = self.mosfet.leakage_factor(op)
         # Leaking width scales with the same structural mix as switched C.
         area = self.capacitance_rel(config)
         return self.STATIC_FRACTION * area * leak

@@ -148,9 +148,7 @@ class NocPowerModel:
     def __init__(self, logic_card: MOSFETCard = FREEPDK45_CARD):
         self.mosfet = CryoMOSFET(logic_card)
         self._ref_energy = MESH_64_PROFILE.transaction_energy()
-        self._ref_leak = self.mosfet.leakage_factor(
-            OP_NOC_300K.temperature_k, OP_NOC_300K.vdd_v, OP_NOC_300K.vth_v
-        )
+        self._ref_leak = self.mosfet.leakage_factor(OP_NOC_300K)
 
     def report(
         self,
@@ -172,10 +170,7 @@ class NocPowerModel:
             * v_ratio**2
             * traffic_rel
         )
-        leak = (
-            self.mosfet.leakage_factor(op.temperature_k, op.vdd_v, op.vth_v)
-            / self._ref_leak
-        )
+        leak = self.mosfet.leakage_factor(op) / self._ref_leak
         static = (1.0 - MESH_300K_DYNAMIC_FRACTION) * profile.router_static_rel * leak
         cooling = CoolingModel(op.temperature_k).cooling_power(dynamic + static)
         return NocPowerReport(

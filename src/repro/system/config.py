@@ -48,12 +48,19 @@ class NocSpec:
     protocol: str  # "directory" | "snoop"
     router_cycles: int = 1
     interleave_ways: int = 1
+    #: Core-side clock that times fabrics without their own clocked
+    #: routers (buses, the ideal NoC): flit serialisation and bus
+    #: transfers are charged against this clock. Matches the 4 GHz 300 K
+    #: baseline core of Table 4.
+    reference_clock_ghz: float = 4.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("mesh", "bus", "cryobus", "htree_bus", "ideal"):
             raise ValueError(f"{self.name}: unknown fabric kind {self.kind!r}")
         if self.protocol not in ("directory", "snoop"):
             raise ValueError(f"{self.name}: unknown protocol {self.protocol!r}")
+        if self.reference_clock_ghz <= 0:
+            raise ValueError(f"{self.name}: reference clock must be positive")
 
 
 @dataclass(frozen=True)

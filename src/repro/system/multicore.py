@@ -82,6 +82,9 @@ class WorkloadResult:
     frequency_ghz: float
     injection_rate_per_core: float
     noc_aggregate_rate: float
+    #: Fixed-point iterations actually run (0 for results built by code
+    #: paths that do not iterate, e.g. trace replay).
+    iterations_used: int = 0
 
     @property
     def time_per_kilo_instruction_ns(self) -> float:
@@ -117,14 +120,15 @@ class MulticoreSystem:
         spec = self.config.noc
         op = spec.operating_point
         if spec.kind == "ideal":
-            return IdealNoc(clock_ghz=4.0)
+            # Even a zero-latency fabric needs a clock: multi-flit
+            # transfers serialise against it in the memory hierarchy.
+            return IdealNoc(clock_ghz=spec.reference_clock_ghz)
         if spec.kind == "mesh":
             return AnalyticNocModel(
                 topology=Mesh(self.config.n_cores),
-                temperature_k=op.temperature_k,
-                vdd_v=op.vdd_v,
-                vth_v=op.vth_v,
+                op=op,
                 router=RouterModel(pipeline_cycles=spec.router_cycles),
+                reference_clock_ghz=spec.reference_clock_ghz,
             )
         if spec.kind == "bus":
             bus = SharedBusDesign(self.config.n_cores)
@@ -134,9 +138,8 @@ class MulticoreSystem:
             bus = CryoBusDesign(self.config.n_cores, spec.interleave_ways)
         return AnalyticNocModel(
             bus=bus,
-            temperature_k=op.temperature_k,
-            vdd_v=op.vdd_v,
-            vth_v=op.vth_v,
+            op=op,
+            reference_clock_ghz=spec.reference_clock_ghz,
         )
 
     # ------------------------------------------------------------------
@@ -173,8 +176,20 @@ class MulticoreSystem:
         profile: WorkloadProfile,
         prefetcher: Optional[StridePrefetcher] = None,
         iterations: int = 40,
+        tolerance: float = 0.0,
     ) -> WorkloadResult:
-        """Closed-loop evaluation of one workload."""
+        """Closed-loop evaluation of one workload.
+
+        The damped fixed-point loop stops early once successive IPC
+        iterates converge: with the default ``tolerance=0.0`` only an
+        *exact* repeat stops it (every further iteration would reproduce
+        the same state bit for bit, so the result is identical to running
+        all ``iterations``); a positive ``tolerance`` accepts a relative
+        IPC change at or below it. ``iterations_used`` on the result
+        reports how many iterations actually ran.
+        """
+        if tolerance < 0.0:
+            raise ValueError("tolerance must be non-negative")
         cfg = self.config
         f_core = cfg.core.frequency_ghz
         core_cpi = self.ipc_model.issue_cpi(cfg.core.config, profile)
@@ -184,6 +199,7 @@ class MulticoreSystem:
         ipc = 1.0 / (core_cpi + branch_cpi)  # optimistic start
         stack = None
         load = 0.0
+        iterations_used = 0
         for _ in range(iterations):
             # Contention is driven by request packets: snooping buses
             # carry data on a separate wide data path (only the address
@@ -237,7 +253,14 @@ class MulticoreSystem:
                 sync=sync_cpi,
             )
             # Damped update keeps the loop stable around saturation.
-            ipc = 0.5 * ipc + 0.5 * (1.0 / stack.total)
+            iterations_used += 1
+            new_ipc = 0.5 * ipc + 0.5 * (1.0 / stack.total)
+            converged = new_ipc == ipc or (
+                tolerance > 0.0 and abs(new_ipc - ipc) <= tolerance * abs(ipc)
+            )
+            ipc = new_ipc
+            if converged:
+                break
 
         assert stack is not None
         return WorkloadResult(
@@ -248,6 +271,7 @@ class MulticoreSystem:
             frequency_ghz=f_core,
             injection_rate_per_core=split["noc_requests_pki"] / 1000.0 * ipc,
             noc_aggregate_rate=load,
+            iterations_used=iterations_used,
         )
 
     def evaluate_suite(

@@ -119,20 +119,24 @@ class TraceDrivenSimulator:
         )
 
         dram_toggle = 0.0
+        stats = protocol.stats
         for request in generator.requests(n_cycles):
             core = request.core % self.n_cores
             if request.cycle < core_busy_until[core]:
                 continue  # this core is still stalled; the miss overlaps
-            before = _snapshot(protocol.stats)
+            # Classify the access by watching the two deciding counters
+            # directly (building a full stats snapshot per request
+            # dominated the loop).
+            hits_before = stats.hits
+            c2c_before = stats.cache_to_cache
             if request.is_write:
                 protocol.write(core, request.address)
             else:
                 protocol.read(core, request.address)
-            delta = _snapshot(protocol.stats)
 
-            if delta["hits"] > before["hits"]:
+            if stats.hits > hits_before:
                 penalty = l2_hit_cycles
-            elif delta["cache_to_cache"] > before["cache_to_cache"]:
+            elif stats.cache_to_cache > c2c_before:
                 penalty = c2c_cycles
             else:
                 # Deterministically interleave DRAM misses at the
@@ -170,7 +174,3 @@ class TraceDrivenSimulator:
             cycles=float(self.n_cores * n_cycles),
             protocol_stats=protocol.stats,
         )
-
-
-def _snapshot(stats: ProtocolStats) -> dict:
-    return {name: getattr(stats, name) for name in vars(stats)}

@@ -22,9 +22,34 @@ from repro.tech.constants import (
     BOLTZMANN_EV,
     DEBYE_TEMPERATURE_CU,
 )
+from repro.tech.context import (
+    CacheStats,
+    TechContext,
+    clear_context,
+    get_context,
+    set_context,
+    use_context,
+)
 from repro.tech.metal import MetalLayer, WireTechnology, FREEPDK45_STACK
+from repro.tech.operating_point import (
+    OP_300K_NOMINAL,
+    OP_77K_NOMINAL,
+    OP_CHP,
+    OP_CRYOSP,
+    OP_NOC_300K,
+    OP_NOC_77K,
+    OperatingPoint,
+    OperatingPointLike,
+    as_operating_point,
+)
 from repro.tech.resistivity import bloch_gruneisen_ratio, CryoResistivityModel
-from repro.tech.mosfet import CryoMOSFET, MOSFETCard, FREEPDK45_CARD, INDUSTRY_2Z_CARD
+from repro.tech.mosfet import (
+    CryoMOSFET,
+    MOSFETCard,
+    FREEPDK45_CARD,
+    INDUSTRY_2Z_CARD,
+    cryo_mosfet,
+)
 from repro.tech.repeater import RepeaterDesign, RepeaterOptimizer
 from repro.tech.wire import CryoWireModel, WireDelayBreakdown
 from repro.tech.scaling import ITRSNode, ITRS_ROADMAP, project_speedup
@@ -35,6 +60,22 @@ __all__ = [
     "T_CRYO",
     "BOLTZMANN_EV",
     "DEBYE_TEMPERATURE_CU",
+    "OperatingPoint",
+    "OperatingPointLike",
+    "as_operating_point",
+    "OP_300K_NOMINAL",
+    "OP_77K_NOMINAL",
+    "OP_CHP",
+    "OP_CRYOSP",
+    "OP_NOC_77K",
+    "OP_NOC_300K",
+    "TechContext",
+    "CacheStats",
+    "get_context",
+    "set_context",
+    "use_context",
+    "clear_context",
+    "cryo_mosfet",
     "MetalLayer",
     "WireTechnology",
     "FREEPDK45_STACK",

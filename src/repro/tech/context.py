@@ -1,0 +1,164 @@
+"""Memoized evaluation context for the physical-modeling stack.
+
+The architecture models re-price the *same* physical structures at the
+same handful of operating points thousands of times: every
+:class:`~repro.system.multicore.MulticoreSystem` fixed-point iteration
+and every figure sweep re-derives repeater placements, driver
+resistances, gate-delay and leakage factors, and per-layer wire RC that
+depend only on ``(device/layer, OperatingPoint)``. A :class:`TechContext`
+caches those pure derivations behind hashable keys (every device card,
+metal layer and :class:`~repro.tech.operating_point.OperatingPoint` is a
+frozen dataclass) so the hot loops stop redoing identical physics.
+
+Usage: the model layers call :func:`get_context` internally -- nothing
+changes for callers, warm evaluations just get faster. For control:
+
+* ``get_context().stats()`` -- hit/miss counters, per cache family,
+  proving (or disproving) reuse;
+* ``clear_context()`` -- drop every entry (cold-start measurements);
+* ``use_context(TechContext(enabled=False))`` -- a ``with`` block in
+  which every evaluation is recomputed from scratch (the equivalence
+  tests use this to show memoized results are bit-identical).
+
+The context is deliberately process-local: the parallel experiment
+engine fans out *processes*, each of which warms its own context.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a context's effectiveness counters."""
+
+    hits: int
+    misses: int
+    entries: int
+    #: Per-family ``(hits, misses)``; the family is the first element of
+    #: every memoization key (e.g. ``"repeater_opt"``, ``"gate_delay"``).
+    families: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_text(self) -> str:
+        lines = [
+            f"tech context: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate, {self.entries} entries)"
+        ]
+        for family in sorted(self.families):
+            hits, misses = self.families[family]
+            lines.append(f"  {family:<16} {hits:>8} hits  {misses:>8} misses")
+        return "\n".join(lines)
+
+
+class TechContext:
+    """Memoization store keyed by ``(family, entity..., op.key)`` tuples.
+
+    Keys must be fully value-hashable: the cached physics may outlive
+    any particular model object, so keys are built from the frozen
+    *specifications* (cards, layers, lengths, :attr:`OperatingPoint.key`)
+    rather than object identities.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._store: Dict[Hashable, Any] = {}
+        self._hits: Counter = Counter()
+        self._misses: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def memo(self, key: Tuple, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        ``key[0]`` names the cache family for the per-family counters.
+        A disabled context always recomputes and counts every lookup as
+        a miss (so cold/uncached measurements are still observable).
+        """
+        family = key[0]
+        if not self.enabled:
+            self._misses[family] += 1
+            return compute()
+        try:
+            value = self._store[key]
+        except KeyError:
+            self._misses[family] += 1
+            value = self._store[key] = compute()
+        else:
+            self._hits[family] += 1
+        return value
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return sum(self._hits.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(self._misses.values())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> CacheStats:
+        families = {
+            family: (self._hits.get(family, 0), self._misses.get(family, 0))
+            for family in set(self._hits) | set(self._misses)
+        }
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self._store),
+            families=families,
+        )
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the counters."""
+        self._store.clear()
+        self._hits.clear()
+        self._misses.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-wide active context
+# ----------------------------------------------------------------------
+
+_ACTIVE = TechContext()
+
+
+def get_context() -> TechContext:
+    """The context the model layers are currently memoizing through."""
+    return _ACTIVE
+
+
+def set_context(context: TechContext) -> TechContext:
+    """Install ``context`` as the active one; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = context
+    return previous
+
+
+def clear_context() -> None:
+    """Reset the active context (a cold start for benchmarking)."""
+    _ACTIVE.clear()
+
+
+@contextmanager
+def use_context(context: TechContext) -> Iterator[TechContext]:
+    """Temporarily evaluate through ``context`` (e.g. a disabled one)."""
+    previous = set_context(context)
+    try:
+        yield context
+    finally:
+        set_context(previous)

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.tech.constants import T_ROOM
+from repro.tech.context import get_context
+from repro.tech.operating_point import OperatingPointLike, as_operating_point
 from repro.tech.resistivity import CryoResistivityModel
 
 
@@ -52,25 +53,35 @@ class MetalLayer:
     def cross_section_um2(self) -> float:
         return self.width_um * self.thickness_um
 
-    def resistance_per_um(self, temperature_k: float = T_ROOM) -> float:
-        """Wire resistance per micron (ohm/um) at ``temperature_k``."""
-        return self.resistivity.resistivity(temperature_k) / self.cross_section_um2
+    def resistance_per_um(self, op: OperatingPointLike = None) -> float:
+        """Wire resistance per micron (ohm/um) at the operating point.
 
-    def rc_per_um2(self, temperature_k: float = T_ROOM) -> float:
+        Wires only care about the temperature component; ``op`` may be a
+        bare temperature (the legacy form) or an ``OperatingPoint``.
+        """
+        temperature_k = as_operating_point(op).temperature_k
+        return get_context().memo(
+            ("wire_r", self, temperature_k),
+            lambda: self.resistivity.resistivity(temperature_k)
+            / self.cross_section_um2,
+        )
+
+    def rc_per_um2(self, op: OperatingPointLike = None) -> float:
         """Distributed RC product per squared micron (ohm*fF/um^2).
 
         Multiplying by a length squared (um^2) yields ohm*fF, which is
         1e-6 ns; callers convert with ``OHM_FF_TO_NS``.
         """
-        return self.resistance_per_um(temperature_k) * self.capacitance_f_per_um
+        return self.resistance_per_um(op) * self.capacitance_f_per_um
 
-    def speedup_at(self, temperature_k: float) -> float:
-        """Asymptotic RC-wire speed-up at ``temperature_k`` vs 300 K.
+    def speedup_at(self, op: OperatingPointLike) -> float:
+        """Asymptotic RC-wire speed-up at the operating point vs 300 K.
 
         For a long wire whose delay is dominated by its own distributed
         RC, delay scales with resistivity, so the speed-up is simply the
         inverse resistivity ratio.
         """
+        temperature_k = as_operating_point(op).temperature_k
         return 1.0 / self.resistivity.ratio_vs_room(temperature_k)
 
 

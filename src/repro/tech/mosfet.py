@@ -11,6 +11,13 @@ need:
    only feasible at 77 K (subthreshold swing scales with kT/q, so a low
    V_th that is catastrophic at 300 K leaks essentially nothing at 77 K).
 
+Every evaluation point is an :class:`~repro.tech.operating_point.OperatingPoint`
+(``vdd_v``/``vth_v`` of ``None`` mean the card's nominal voltages); the
+legacy ``(temperature_k, vdd_v, vth_v)`` scalar call form still works
+through :func:`~repro.tech.operating_point.as_operating_point`. Gate-delay
+and leakage factors are memoized per ``(card, operating point)`` in the
+active :class:`~repro.tech.context.TechContext`.
+
 The drive model is deliberately phenomenological:
 
     I_on(T, V) = D(T) * (V_dd - V_th_eff(T))^beta(T)
@@ -33,9 +40,17 @@ mobility, beta drops below one because series resistance dominates).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.tech.constants import BOLTZMANN_EV, T_LN2, T_ROOM, check_temperature
+from repro.tech.context import get_context
+from repro.tech.operating_point import (
+    OperatingPoint,
+    OperatingPointLike,
+    as_operating_point,
+)
 
 #: Minimum allowed overdrive voltage; below this the drive model (built
 #: for super-threshold operation) is meaningless.
@@ -73,6 +88,13 @@ class MOSFETCard:
         if self.drive_speedup_77 <= 0:
             raise ValueError(f"{self.name}: drive_speedup_77 must be positive")
 
+    @property
+    def nominal_op(self) -> OperatingPoint:
+        """The card's (300 K, nominal V) calibration point."""
+        return OperatingPoint.at(
+            T_ROOM, self.vdd_nominal_v, self.vth_nominal_v, name=f"{self.name} nominal"
+        )
+
 
 def _lerp_to_cryo(value_300: float, value_77: float, temperature_k: float) -> float:
     """Linear interpolation in temperature between the two anchors.
@@ -102,102 +124,106 @@ class CryoMOSFET:
             * ov**card.overdrive_exponent_300
             / ov_cryo**card.overdrive_exponent_77
         )
-        self._i_on_nominal_300 = self._on_current_raw(
-            T_ROOM, card.vdd_nominal_v, card.vth_nominal_v
-        )
-        self._leak_nominal_300 = self._leakage_raw(
-            T_ROOM, card.vdd_nominal_v, card.vth_nominal_v
-        )
+        self._i_on_nominal_300 = self._on_current_raw(card.nominal_op)
+        self._leak_nominal_300 = self._leakage_raw(card.nominal_op)
+
+    # ------------------------------------------------------------------
+    # voltage resolution
+    # ------------------------------------------------------------------
+    def _vdd(self, op: OperatingPoint) -> float:
+        return self.card.vdd_nominal_v if op.vdd_v is None else op.vdd_v
 
     # ------------------------------------------------------------------
     # drive
     # ------------------------------------------------------------------
-    def effective_vth(self, temperature_k: float, vth_v: float | None = None) -> float:
-        """Threshold voltage at ``temperature_k`` (V_th rises when cooled)."""
-        check_temperature(temperature_k)
-        base = self.card.vth_nominal_v if vth_v is None else vth_v
-        return base + _lerp_to_cryo(0.0, self.card.vth_shift_77, temperature_k)
+    def effective_vth(
+        self, op: OperatingPointLike = None, vth_v: Optional[float] = None
+    ) -> float:
+        """Threshold voltage at the operating point (V_th rises when cooled)."""
+        op = as_operating_point(op, vth_v=vth_v)
+        check_temperature(op.temperature_k)
+        base = self.card.vth_nominal_v if op.vth_v is None else op.vth_v
+        return base + _lerp_to_cryo(0.0, self.card.vth_shift_77, op.temperature_k)
 
-    def _overdrive(self, temperature_k: float, vdd_v: float, vth_v: float | None) -> float:
-        overdrive = vdd_v - self.effective_vth(temperature_k, vth_v)
+    def _overdrive(self, op: OperatingPoint) -> float:
+        overdrive = self._vdd(op) - self.effective_vth(op)
         if overdrive <= MIN_OVERDRIVE_V:
             raise ValueError(
                 f"{self.card.name}: overdrive {overdrive:.3f} V at "
-                f"(T={temperature_k} K, Vdd={vdd_v} V) is below the "
+                f"(T={op.temperature_k} K, Vdd={self._vdd(op)} V) is below the "
                 f"{MIN_OVERDRIVE_V} V validity floor"
             )
         return overdrive
 
-    def _on_current_raw(
-        self, temperature_k: float, vdd_v: float, vth_v: float | None
-    ) -> float:
-        overdrive = self._overdrive(temperature_k, vdd_v, vth_v)
+    def _on_current_raw(self, op: OperatingPoint) -> float:
+        overdrive = self._overdrive(op)
         beta = _lerp_to_cryo(
             self.card.overdrive_exponent_300,
             self.card.overdrive_exponent_77,
-            temperature_k,
+            op.temperature_k,
         )
-        gain = _lerp_to_cryo(1.0, self._drive_gain_77, temperature_k)
+        gain = _lerp_to_cryo(1.0, self._drive_gain_77, op.temperature_k)
         return gain * overdrive**beta
 
     def on_current(
         self,
-        temperature_k: float,
-        vdd_v: float | None = None,
-        vth_v: float | None = None,
+        op: OperatingPointLike = None,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
     ) -> float:
         """Drive current relative to the card's (300 K, nominal V) point."""
-        vdd = self.card.vdd_nominal_v if vdd_v is None else vdd_v
-        return self._on_current_raw(temperature_k, vdd, vth_v) / self._i_on_nominal_300
+        op = as_operating_point(op, vdd_v, vth_v)
+        return self._on_current_raw(op) / self._i_on_nominal_300
 
     def gate_delay_factor(
         self,
-        temperature_k: float,
-        vdd_v: float | None = None,
-        vth_v: float | None = None,
+        op: OperatingPointLike = None,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
     ) -> float:
         """Gate delay relative to (300 K, nominal V); < 1 means faster.
 
         Gate delay is C*V_dd/I_on; capacitance is treated as
         temperature-independent.
         """
-        vdd = self.card.vdd_nominal_v if vdd_v is None else vdd_v
-        i_on = self.on_current(temperature_k, vdd, vth_v)
-        return (vdd / self.card.vdd_nominal_v) / i_on
+        op = as_operating_point(op, vdd_v, vth_v)
+        return get_context().memo(
+            ("gate_delay", self.card, op.key), lambda: self._gate_delay_factor(op)
+        )
+
+    def _gate_delay_factor(self, op: OperatingPoint) -> float:
+        return (self._vdd(op) / self.card.vdd_nominal_v) / self.on_current(op)
 
     def delay_speedup(
         self,
-        temperature_k: float,
-        vdd_v: float | None = None,
-        vth_v: float | None = None,
+        op: OperatingPointLike = None,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
     ) -> float:
         """Transistor speed-up versus (300 K, nominal V); > 1 means faster."""
-        return 1.0 / self.gate_delay_factor(temperature_k, vdd_v, vth_v)
+        return 1.0 / self.gate_delay_factor(op, vdd_v, vth_v)
 
     # ------------------------------------------------------------------
     # leakage
     # ------------------------------------------------------------------
-    def subthreshold_swing(self, temperature_k: float) -> float:
+    def subthreshold_swing(self, op: OperatingPointLike = None) -> float:
         """Subthreshold swing in volts/decade; proportional to kT/q."""
-        check_temperature(temperature_k)
-        import math
+        op = as_operating_point(op)
+        check_temperature(op.temperature_k)
+        return self.card.ideality * math.log(10.0) * BOLTZMANN_EV * op.temperature_k
 
-        return self.card.ideality * math.log(10.0) * BOLTZMANN_EV * temperature_k
-
-    def _leakage_raw(
-        self, temperature_k: float, vdd_v: float, vth_v: float | None
-    ) -> float:
-        vth = self.effective_vth(temperature_k, vth_v)
-        swing = self.subthreshold_swing(temperature_k)
+    def _leakage_raw(self, op: OperatingPoint) -> float:
+        vth = self.effective_vth(op)
+        swing = self.subthreshold_swing(op)
         # I_leak ~ Vdd * 10^(-Vth / S(T)); the Vdd factor approximates DIBL
         # plus the linear dependence of leakage power on rail voltage.
-        return vdd_v * 10.0 ** (-vth / swing)
+        return self._vdd(op) * 10.0 ** (-vth / swing)
 
     def leakage_factor(
         self,
-        temperature_k: float,
-        vdd_v: float | None = None,
-        vth_v: float | None = None,
+        op: OperatingPointLike = None,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
     ) -> float:
         """Leakage current relative to the card's (300 K, nominal V) point.
 
@@ -207,8 +233,21 @@ class CryoMOSFET:
         yield a factor in the hundreds, which is why the paper stresses
         that the scaling is *only* feasible at cryogenic temperatures.
         """
-        vdd = self.card.vdd_nominal_v if vdd_v is None else vdd_v
-        return self._leakage_raw(temperature_k, vdd, vth_v) / self._leak_nominal_300
+        op = as_operating_point(op, vdd_v, vth_v)
+        return get_context().memo(
+            ("leakage", self.card, op.key),
+            lambda: self._leakage_raw(op) / self._leak_nominal_300,
+        )
+
+
+def cryo_mosfet(card: MOSFETCard) -> CryoMOSFET:
+    """A shared :class:`CryoMOSFET` for ``card``, memoized per context.
+
+    Construction solves the card's calibration anchors, so hot paths
+    (e.g. :meth:`repro.noc.router.RouterModel.frequency_ghz`) should go
+    through here instead of instantiating per call.
+    """
+    return get_context().memo(("mosfet", card), lambda: CryoMOSFET(card))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,127 @@
+"""The operating point: the one way to say *where* on the (T, V_dd, V_th)
+surface a structure is being evaluated.
+
+Every quantity in the physical-modeling stack -- transistor drive, wire
+resistance, repeater placement, cache access time, router frequency --
+is a function of the electrical operating point. This module is the
+foundational home of :class:`OperatingPoint` (it is re-exported from
+:mod:`repro.pipeline` for compatibility with older callers) together
+with the named Table 3 / Table 4 points and the *only* sanctioned
+bridge from the legacy ``(temperature_k, vdd_v, vth_v)`` scalar-triple
+call style: :func:`as_operating_point`.
+
+Design rules enforced across the repo (see ``tools/check_op_signatures.py``):
+
+* public model entry points accept an :class:`OperatingPoint` (or, via
+  the shim, a bare temperature plus optional voltage scalars);
+* no new function may thread a loose ``temperature_k/vdd_v/vth_v``
+  parameter triple through its signature -- this module is the single
+  place where that legacy form is interpreted.
+
+``vdd_v``/``vth_v`` may be ``None``, meaning "the nominal voltages of
+whichever device card evaluates this point" -- the same convention the
+scalar signatures always had. :attr:`OperatingPoint.key` is the
+hashable identity used by the memoized evaluation context
+(:mod:`repro.tech.context`); it deliberately excludes ``name`` so that
+two differently-labelled but electrically identical points share cache
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from repro.tech.constants import T_LN2, T_ROOM
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Electrical operating point of a voltage/temperature domain."""
+
+    name: str
+    temperature_k: float
+    vdd_v: Optional[float] = None
+    vth_v: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.vdd_v is not None and self.vth_v is not None:
+            if self.vdd_v <= self.vth_v:
+                raise ValueError(f"{self.name}: Vdd must exceed Vth")
+
+    @property
+    def is_cryogenic(self) -> bool:
+        return self.temperature_k < 200.0
+
+    @property
+    def key(self) -> Tuple[float, Optional[float], Optional[float]]:
+        """Electrical identity -- the memoization key (name excluded)."""
+        return (self.temperature_k, self.vdd_v, self.vth_v)
+
+    @classmethod
+    def at(
+        cls,
+        temperature_k: float,
+        vdd_v: Optional[float] = None,
+        vth_v: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> "OperatingPoint":
+        """An auto-named point; voltages default to card-nominal."""
+        if name is None:
+            name = f"{temperature_k:g}K"
+            if vdd_v is not None:
+                name += f" Vdd={vdd_v:g}"
+            if vth_v is not None:
+                name += f" Vth={vth_v:g}"
+        return cls(name=name, temperature_k=temperature_k, vdd_v=vdd_v, vth_v=vth_v)
+
+    def with_temperature(self, temperature_k: float) -> "OperatingPoint":
+        """The same voltages at another temperature (sweep helper)."""
+        return replace(
+            self, name=f"{self.name}@{temperature_k:g}K", temperature_k=temperature_k
+        )
+
+
+#: What converted signatures accept: a point, a bare temperature (the
+#: legacy scalar form), or ``None`` meaning 300 K nominal.
+OperatingPointLike = Union[OperatingPoint, float, int, None]
+
+
+def as_operating_point(
+    op: OperatingPointLike = None,
+    vdd_v: Optional[float] = None,
+    vth_v: Optional[float] = None,
+    *,
+    default_temperature_k: float = T_ROOM,
+) -> OperatingPoint:
+    """Coerce the legacy scalar call form into an :class:`OperatingPoint`.
+
+    This is the deprecation shim for the pre-refactor signatures: a
+    bare temperature (optionally followed by ``vdd_v``/``vth_v``
+    scalars) still works everywhere, but is funnelled through this one
+    function. New code should construct an :class:`OperatingPoint` --
+    typically one of the named constants below, or
+    :meth:`OperatingPoint.at` inside a sweep loop.
+    """
+    if isinstance(op, OperatingPoint):
+        if vdd_v is not None or vth_v is not None:
+            raise TypeError(
+                "voltages belong inside the OperatingPoint; do not pass "
+                "vdd_v/vth_v scalars alongside one"
+            )
+        return op
+    temperature = default_temperature_k if op is None else float(op)
+    return OperatingPoint.at(temperature, vdd_v, vth_v)
+
+
+# ----------------------------------------------------------------------
+# Named operating points of Table 3 / Table 4
+# ----------------------------------------------------------------------
+
+OP_300K_NOMINAL = OperatingPoint("300K nominal", T_ROOM, vdd_v=1.25, vth_v=0.47)
+OP_77K_NOMINAL = OperatingPoint("77K nominal", T_LN2, vdd_v=1.25, vth_v=0.47)
+OP_CHP = OperatingPoint("77K CHP voltage", T_LN2, vdd_v=0.75, vth_v=0.25)
+OP_CRYOSP = OperatingPoint("77K CryoSP voltage", T_LN2, vdd_v=0.64, vth_v=0.25)
+#: NoC / LLC shared voltage domain at 77 K (Table 4).
+OP_NOC_77K = OperatingPoint("77K NoC voltage", T_LN2, vdd_v=0.55, vth_v=0.225)
+OP_NOC_300K = OperatingPoint("300K NoC voltage", T_ROOM, vdd_v=1.0, vth_v=0.468)

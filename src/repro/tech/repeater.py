@@ -8,13 +8,19 @@ size ``h`` (in units of a minimum inverter). Per-segment Elmore delay:
           + 0.69 * r*l * h*Cg                       -- wire charging next gate
 
 with ``l = L/n``, wire parameters ``r`` (ohm/um) and ``c`` (fF/um) from
-the metal layer at the evaluation temperature, and driver parameters from
-a MOSFET card (the card's gate-delay factor scales ``R0``).
+the metal layer at the evaluation operating point, and driver parameters
+from a MOSFET card (the card's gate-delay factor scales ``R0``).
 
 Closed forms give the optimum size ``h* = sqrt(R0*c / (r*Cg))`` and
 repeater count ``n* = L * sqrt(0.38*r*c / (0.69*R0*(Cg+Cp)))``; the
 optimizer evaluates the integer neighbours of ``n*`` (plus the unrepeated
 case) and returns the best.
+
+Evaluation points are :class:`~repro.tech.operating_point.OperatingPoint`
+values (legacy temperature/voltage scalars are coerced through the shim),
+and optimisation results are memoized per ``(layer, driver, length, op)``
+in the active :class:`~repro.tech.context.TechContext` -- the multicore
+fixed point re-prices the same links thousands of times.
 
 Calibration: the driver constants below make a latency-optimal 2 mm
 global-wire link cost ~0.064 ns at 300 K -- the CACTI-NUCA anchor the
@@ -28,8 +34,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.tech.constants import T_ROOM
+from repro.tech.context import get_context
 from repro.tech.metal import OHM_FF_TO_NS, MetalLayer
 from repro.tech.mosfet import CryoMOSFET, MOSFETCard, INDUSTRY_2Z_CARD
+from repro.tech.operating_point import (
+    OperatingPoint,
+    OperatingPointLike,
+    as_operating_point,
+)
 
 #: Minimum-size driver output resistance (ohm) at 300 K.
 DRIVER_R0_OHM = 25_000.0
@@ -91,16 +103,22 @@ class RepeaterOptimizer:
         self.driver_cg_ff = driver_cg_ff
         self.driver_cp_ff = driver_cp_ff
 
+    def _spec_key(self) -> tuple:
+        """Value identity of this optimiser (for context memoization)."""
+        return (
+            self.layer,
+            self.driver.card,
+            self.driver_r0_ohm,
+            self.driver_cg_ff,
+            self.driver_cp_ff,
+        )
+
     # ------------------------------------------------------------------
-    def _driver_resistance(
-        self,
-        temperature_k: float,
-        vdd_v: Optional[float],
-        vth_v: Optional[float],
-    ) -> float:
+    def _driver_resistance(self, op: OperatingPoint) -> float:
         """Unit-driver output resistance at the operating point (ohm)."""
-        return self.driver_r0_ohm * self.driver.gate_delay_factor(
-            temperature_k, vdd_v, vth_v
+        return get_context().memo(
+            ("driver_r", self.driver.card, self.driver_r0_ohm, op.key),
+            lambda: self.driver_r0_ohm * self.driver.gate_delay_factor(op),
         )
 
     def _segment_delay_ns(
@@ -119,7 +137,7 @@ class RepeaterOptimizer:
         length_um: float,
         n_repeaters: int,
         repeater_size: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
@@ -130,8 +148,9 @@ class RepeaterOptimizer:
             raise ValueError("need at least the source driver (n_repeaters >= 1)")
         if repeater_size < 1.0:
             raise ValueError("repeater size below minimum (1.0)")
-        r0 = self._driver_resistance(temperature_k, vdd_v, vth_v)
-        r = self.layer.resistance_per_um(temperature_k)
+        op = as_operating_point(op, vdd_v, vth_v)
+        r0 = self._driver_resistance(op)
+        r = self.layer.resistance_per_um(op)
         c = self.layer.capacitance_f_per_um
         seg = length_um / n_repeaters
         return n_repeaters * self._segment_delay_ns(r0, repeater_size, r, c, seg)
@@ -139,19 +158,27 @@ class RepeaterOptimizer:
     def optimize(
         self,
         length_um: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> RepeaterDesign:
         """Find the latency-optimal repeater count and size.
 
         ``n_repeaters == 1`` means a single driver at the source (an
-        'unrepeated' wire in the paper's Fig. 5 terminology).
+        'unrepeated' wire in the paper's Fig. 5 terminology). Results
+        are memoized per ``(layer, driver, length, op)``.
         """
         if length_um <= 0:
             raise ValueError("length must be positive")
-        r0 = self._driver_resistance(temperature_k, vdd_v, vth_v)
-        r = self.layer.resistance_per_um(temperature_k)
+        op = as_operating_point(op, vdd_v, vth_v)
+        return get_context().memo(
+            ("repeater_opt", *self._spec_key(), length_um, op.key),
+            lambda: self._optimize(length_um, op),
+        )
+
+    def _optimize(self, length_um: float, op: OperatingPoint) -> RepeaterDesign:
+        r0 = self._driver_resistance(op)
+        r = self.layer.resistance_per_um(op)
         c = self.layer.capacitance_f_per_um
         cg, cp = self.driver_cg_ff, self.driver_cp_ff
 
@@ -161,14 +188,12 @@ class RepeaterOptimizer:
 
         best: Optional[RepeaterDesign] = None
         for n in sorted(candidates):
-            delay = self.delay_with(
-                length_um, n, h_opt, temperature_k, vdd_v, vth_v
-            )
+            delay = self.delay_with(length_um, n, h_opt, op)
             if best is None or delay < best.delay_ns:
                 best = RepeaterDesign(
                     layer_name=self.layer.name,
                     length_um=length_um,
-                    temperature_k=temperature_k,
+                    temperature_k=op.temperature_k,
                     n_repeaters=n,
                     repeater_size=h_opt,
                     delay_ns=delay,
@@ -179,16 +204,17 @@ class RepeaterOptimizer:
     def speedup(
         self,
         length_um: float,
-        temperature_k: float,
+        op: OperatingPointLike,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
-        """Delay(300 K, nominal) / delay(T, V): > 1 means faster at T.
+        """Delay(300 K, nominal) / delay(at op): > 1 means faster cold.
 
         Both operating points are independently re-optimised, matching
         the paper's methodology of generating a temperature-optimal
         design rather than reusing the 300 K repeater placement.
         """
+        op = as_operating_point(op, vdd_v, vth_v)
         base = self.optimize(length_um, T_ROOM).delay_ns
-        cold = self.optimize(length_um, temperature_k, vdd_v, vth_v).delay_ns
+        cold = self.optimize(length_um, op).delay_ns
         return base / cold

@@ -1,9 +1,13 @@
 """CryoWireModel: the wire-delay facade used by the architecture models.
 
 This is the ``cryo-wire`` box of CC-Model (Fig. 6): given a metal-layer
-specification it produces geometry-aware wire delays at any temperature,
-for both unrepeated (logic-driven) and repeated wires, together with the
-transistor/wire delay decomposition the critical-path analysis needs.
+specification it produces geometry-aware wire delays at any
+:class:`~repro.tech.operating_point.OperatingPoint`, for both unrepeated
+(logic-driven) and repeated wires, together with the transistor/wire
+delay decomposition the critical-path analysis needs. Unrepeated
+breakdowns are memoized per ``(layer, driver card, length, op, load)``
+in the active :class:`~repro.tech.context.TechContext`; repeated wires
+share the repeater optimiser's memoization.
 """
 
 from __future__ import annotations
@@ -12,12 +16,18 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.tech.constants import T_ROOM
+from repro.tech.context import get_context
 from repro.tech.metal import FREEPDK45_STACK, OHM_FF_TO_NS, MetalLayer, WireTechnology
 from repro.tech.mosfet import (
     CryoMOSFET,
     FREEPDK45_CARD,
     INDUSTRY_2Z_CARD,
     MOSFETCard,
+)
+from repro.tech.operating_point import (
+    OperatingPoint,
+    OperatingPointLike,
+    as_operating_point,
 )
 from repro.tech.repeater import RepeaterOptimizer
 
@@ -50,7 +60,7 @@ class WireDelayBreakdown:
 
 
 class CryoWireModel:
-    """Evaluate wire delays at arbitrary temperature and voltage.
+    """Evaluate wire delays at arbitrary operating points.
 
     Parameters
     ----------
@@ -91,7 +101,7 @@ class CryoWireModel:
         self,
         layer_name: str,
         length_um: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
         load_ff: float = UNREPEATED_LOAD_FF,
@@ -104,11 +114,18 @@ class CryoWireModel:
         """
         if length_um < 0:
             raise ValueError("length must be non-negative")
+        op = as_operating_point(op, vdd_v, vth_v)
         layer = self.stack.layer(layer_name)
-        drive = UNREPEATED_DRIVE_NS * self.logic.gate_delay_factor(
-            temperature_k, vdd_v, vth_v
+        return get_context().memo(
+            ("unrepeated", layer, self.logic.card, length_um, load_ff, op.key),
+            lambda: self._unrepeated_breakdown(layer, length_um, op, load_ff),
         )
-        r = layer.resistance_per_um(temperature_k)
+
+    def _unrepeated_breakdown(
+        self, layer: MetalLayer, length_um: float, op: OperatingPoint, load_ff: float
+    ) -> WireDelayBreakdown:
+        drive = UNREPEATED_DRIVE_NS * self.logic.gate_delay_factor(op)
+        r = layer.resistance_per_um(op)
         c = layer.capacitance_f_per_um
         flight = _DW * r * c * length_um**2 * OHM_FF_TO_NS
         load = _SW * r * length_um * load_ff * OHM_FF_TO_NS
@@ -118,20 +135,20 @@ class CryoWireModel:
         self,
         layer_name: str,
         length_um: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
         return self.unrepeated_breakdown(
-            layer_name, length_um, temperature_k, vdd_v, vth_v
+            layer_name, length_um, op, vdd_v, vth_v
         ).total_ns
 
     def unrepeated_speedup(
-        self, layer_name: str, length_um: float, temperature_k: float
+        self, layer_name: str, length_um: float, op: OperatingPointLike
     ) -> float:
-        """Speed-up of an unrepeated wire at ``temperature_k`` vs 300 K."""
+        """Speed-up of an unrepeated wire at the operating point vs 300 K."""
         base = self.unrepeated_delay(layer_name, length_um, T_ROOM)
-        cold = self.unrepeated_delay(layer_name, length_um, temperature_k)
+        cold = self.unrepeated_delay(layer_name, length_um, as_operating_point(op))
         return base / cold
 
     # ------------------------------------------------------------------
@@ -141,21 +158,21 @@ class CryoWireModel:
         self,
         layer_name: str,
         length_um: float,
-        temperature_k: float = T_ROOM,
+        op: OperatingPointLike = T_ROOM,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
         """Delay (ns) of a latency-optimally repeated wire."""
         return (
             self.optimizer(layer_name)
-            .optimize(length_um, temperature_k, vdd_v, vth_v)
+            .optimize(length_um, as_operating_point(op, vdd_v, vth_v))
             .delay_ns
         )
 
     def repeated_speedup(
-        self, layer_name: str, length_um: float, temperature_k: float
+        self, layer_name: str, length_um: float, op: OperatingPointLike
     ) -> float:
-        return self.optimizer(layer_name).speedup(length_um, temperature_k)
+        return self.optimizer(layer_name).speedup(length_um, as_operating_point(op))
 
     # ------------------------------------------------------------------
     # sweeps for the Fig. 5 analysis
@@ -164,9 +181,10 @@ class CryoWireModel:
         self,
         layer_name: str,
         lengths_um: Sequence[float],
-        temperature_k: float,
+        op: OperatingPointLike,
         repeated: bool = False,
     ) -> Dict[float, float]:
-        """Speed-up at ``temperature_k`` for each length in the sweep."""
+        """Speed-up at the operating point for each length in the sweep."""
+        op = as_operating_point(op)
         fn = self.repeated_speedup if repeated else self.unrepeated_speedup
-        return {length: fn(layer_name, length, temperature_k) for length in lengths_um}
+        return {length: fn(layer_name, length, op) for length in lengths_um}

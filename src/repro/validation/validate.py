@@ -58,9 +58,10 @@ def _nominal_op(temperature_k: float) -> OperatingPoint:
 
 def _model_component_speedups(temperature_k: float) -> Dict[str, float]:
     """Transistor and (semi-global) wire speed-ups from the device models."""
+    op = OperatingPoint.at(temperature_k)
     model = PipelineModel()
-    transistor = model.logic.delay_speedup(temperature_k)
-    wire = model.wires.unrepeated_speedup("semi_global", 1686.0, temperature_k)
+    transistor = model.logic.delay_speedup(op)
+    wire = model.wires.unrepeated_speedup("semi_global", 1686.0, op)
     return {"transistor": transistor, "wire": wire}
 
 
@@ -142,13 +143,14 @@ def validate_wire_link_model(
     optimiser are re-simulated at circuit level; the speed-up ratio is
     the measured value.
     """
+    op = OperatingPoint.at(temperature_k)
     links = WireLinkModel()
-    predicted = links.speedup(length_mm, temperature_k)
+    predicted = links.speedup(length_mm, op)
 
     optimizer = RepeaterOptimizer(FREEPDK45_STACK.layer("global"), NOC_LINK_CARD)
     simulator = CircuitSimulator(driver_card=NOC_LINK_CARD)
     warm_design = optimizer.optimize(length_mm * 1000.0, T_ROOM)
-    cold_design = optimizer.optimize(length_mm * 1000.0, temperature_k)
+    cold_design = optimizer.optimize(length_mm * 1000.0, op)
     warm = simulator.simulate_design(warm_design).delay_ns
     cold = simulator.simulate_design(cold_design).delay_ns
     measured = warm / cold

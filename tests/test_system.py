@@ -167,3 +167,58 @@ class TestIdealAndInterleaved:
             double.evaluate(profile, prefetcher).performance
             >= single.evaluate(profile, prefetcher).performance
         )
+
+
+class TestConvergenceAndReferenceClock:
+    def test_exact_convergence_matches_fixed_iterations(self):
+        """tolerance=0.0 exits only on an exact IPC repeat, after which
+        every further iteration would reproduce the same state -- so a
+        converged run is bit-identical to any longer fixed budget."""
+        system = MulticoreSystem(CRYOSP_77K_CRYOBUS)
+        for profile in PARSEC_2_1[:4]:
+            converged = system.evaluate(profile, iterations=200)
+            exhaustive = system.evaluate(profile, iterations=4000)
+            assert converged.iterations_used < 200  # early exit fired
+            assert converged.iterations_used == exhaustive.iterations_used
+            assert converged.cpi_stack == exhaustive.cpi_stack
+            assert converged.ipc == exhaustive.ipc
+
+    def test_tolerance_converges_early_and_close(self):
+        system = MulticoreSystem(CHP_77K_MESH)
+        profile = by_name("canneal")
+        exact = system.evaluate(profile)
+        loose = system.evaluate(profile, tolerance=1e-6)
+        assert loose.iterations_used <= exact.iterations_used
+        assert loose.ipc == pytest.approx(exact.ipc, rel=1e-4)
+
+    def test_iterations_used_reported(self):
+        result = MulticoreSystem(BASELINE_300K_MESH).evaluate(PARSEC_2_1[0])
+        assert 1 <= result.iterations_used <= 40
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            MulticoreSystem(BASELINE_300K_MESH).evaluate(
+                PARSEC_2_1[0], tolerance=-0.1
+            )
+
+    def test_ideal_noc_clock_derives_from_spec(self):
+        from dataclasses import replace
+
+        fast_spec = replace(CHP_77K_IDEAL.noc, reference_clock_ghz=8.0)
+        fast = MulticoreSystem(CHP_77K_IDEAL.with_noc(fast_spec))
+        default = MulticoreSystem(CHP_77K_IDEAL)
+        assert default.noc.clock_ghz == 4.0
+        assert fast.noc.clock_ghz == 8.0
+        # A faster reference clock shortens multi-flit serialisation, so
+        # the ideal fabric can only get better.
+        profile = by_name("canneal")
+        assert (
+            fast.evaluate(profile).performance
+            >= default.evaluate(profile).performance
+        )
+
+    def test_reference_clock_must_be_positive(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(CHP_77K_IDEAL.noc, reference_clock_ghz=0.0)
