@@ -14,6 +14,14 @@ cache directory (``$CRYOWIRE_CACHE_DIR``, else ``$XDG_CACHE_HOME/
 cryowire``, else ``~/.cache/cryowire``); writes go through a temp file +
 ``os.replace`` so concurrent workers never observe torn entries.
 
+Crash safety: every entry embeds a SHA-256 digest of its own result
+payload, and :meth:`ResultCache.get` verifies the schema and the digest
+on every read. An entry that is truncated, hand-edited, bit-flipped or
+written by an older schema is treated as a *miss* — it is moved into
+``<cache>/corrupt/`` (quarantined for post-mortem, never re-read) and
+the experiment is simply recomputed. A machine losing power mid-write
+therefore costs one recomputation, never a wrong table or a crash.
+
 Runs whose kwargs are not plain JSON data (e.g. a prefetcher object) are
 *uncacheable*: their canonical form would embed unstable ``repr`` text,
 so the engine simply computes them every time.
@@ -22,6 +30,7 @@ so the engine simply computes them every time.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -31,6 +40,9 @@ from repro import __version__
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import ExperimentSpec
 from repro.util.digest import canonical_json, file_digest, is_plain_data, sha256_hex
+from repro.util.faults import maybe_corrupt
+
+_LOG = logging.getLogger(__name__)
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "CRYOWIRE_CACHE_DIR"
@@ -39,6 +51,12 @@ NO_CACHE_ENV = "CRYOWIRE_NO_CACHE"
 
 #: File (inside the cache dir) holding the manifest of the last run.
 MANIFEST_NAME = "last_run.json"
+
+#: Subdirectory quarantining entries that failed verification on read.
+CORRUPT_DIR_NAME = "corrupt"
+
+#: Entry schema version; bumping it invalidates (quarantines) old entries.
+ENTRY_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:
@@ -52,6 +70,15 @@ def default_cache_dir() -> Path:
 
 def cache_disabled_by_env() -> bool:
     return bool(os.environ.get(NO_CACHE_ENV))
+
+
+def payload_digest(result_dict: Dict) -> str:
+    """Integrity digest embedded in (and verified against) each entry."""
+    return sha256_hex(canonical_json(result_dict))
+
+
+class CacheIntegrityError(ValueError):
+    """An entry failed schema or digest verification (internal signal)."""
 
 
 class ResultCache:
@@ -93,30 +120,77 @@ class ResultCache:
     def _entry_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
+    @staticmethod
+    def _verify(payload: Dict) -> ExperimentResult:
+        """Decode an entry, or raise :class:`CacheIntegrityError`."""
+        if not isinstance(payload, dict):
+            raise CacheIntegrityError("entry is not a JSON object")
+        missing = {"schema", "result", "digest"} - set(payload)
+        if missing:
+            raise CacheIntegrityError(f"entry missing fields {sorted(missing)}")
+        if payload["schema"] != ENTRY_SCHEMA:
+            raise CacheIntegrityError(
+                f"entry schema {payload['schema']!r} != {ENTRY_SCHEMA}"
+            )
+        if payload_digest(payload["result"]) != payload["digest"]:
+            raise CacheIntegrityError("payload digest mismatch")
+        return ExperimentResult.from_dict(payload["result"])
+
     def get(self, key: str) -> Optional[ExperimentResult]:
-        """The cached result for ``key``, or None (corrupt entries miss)."""
+        """The verified cached result for ``key``, or ``None``.
+
+        Corrupt or truncated entries — anything failing JSON decoding,
+        the schema check, or the embedded payload digest — are
+        quarantined under ``corrupt/`` and reported as a miss.
+        """
         path = self._entry_path(key)
         try:
-            payload = json.loads(path.read_text())
-            return ExperimentResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            raw = maybe_corrupt("cache.read", path.read_bytes())
+        except OSError:
             return None
+        try:
+            payload = json.loads(raw.decode("utf-8", errors="strict"))
+            return self._verify(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
+            return None
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a bad entry aside so it is never re-read (best effort)."""
+        target = self.cache_dir / CORRUPT_DIR_NAME / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(str(path), str(target))
+            _LOG.warning(
+                "quarantined corrupt cache entry %s -> %s (%s)",
+                path.name,
+                target.parent.name,
+                reason,
+            )
+        except OSError:
+            pass
 
     def put(self, key: str, result: ExperimentResult) -> Path:
         """Atomically persist ``result`` under ``key``."""
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._entry_path(key)
+        result_dict = result.to_dict()
         payload = {
+            "schema": ENTRY_SCHEMA,
             "version": __version__,
             "experiment_id": result.experiment_id,
-            "result": result.to_dict(),
+            "result": result_dict,
+            "digest": payload_digest(result_dict),
         }
+        raw = maybe_corrupt(
+            "cache.write", json.dumps(payload).encode("utf-8")
+        )
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.cache_dir), prefix=f".{key[:12]}-", suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -146,6 +220,13 @@ class ResultCache:
         return sum(
             1 for p in self.cache_dir.glob("*.json") if p.name != MANIFEST_NAME
         )
+
+    def quarantined_count(self) -> int:
+        """How many corrupt entries have been moved aside so far."""
+        corrupt_dir = self.cache_dir / CORRUPT_DIR_NAME
+        if not corrupt_dir.is_dir():
+            return 0
+        return sum(1 for p in corrupt_dir.glob("*.json"))
 
     @property
     def manifest_path(self) -> Path:

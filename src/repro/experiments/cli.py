@@ -17,8 +17,18 @@ experiment id, kwargs, package version and the experiment module's
 source digest, and cache misses fan out over ``--jobs N`` worker
 processes. ``--cache-dir DIR`` relocates the cache (default
 ``$CRYOWIRE_CACHE_DIR`` or ``~/.cache/cryowire``); ``--no-cache``
-bypasses it. Every run writes a JSON manifest (wall time, hit/miss,
-worker attribution per experiment) that ``cryowire stats`` prints.
+bypasses it. Every run writes a JSON manifest (wall time, status,
+attempts, worker attribution per experiment) that ``cryowire stats``
+prints.
+
+Fault tolerance: ``--retries N`` re-executes transient failures with
+capped exponential backoff, ``--timeout SECONDS`` bounds each driver's
+wall clock (0 disables; the default scales with the spec's cost tag),
+``--keep-going`` emits every completed result even when some
+experiments fail, and ``--resume`` skips experiments the previous run
+already completed (per the last manifest). Corrupt cache entries are
+quarantined under ``<cache>/corrupt/`` and recomputed transparently;
+``cryowire stats`` reports attempts, retries and quarantined entries.
 """
 
 from __future__ import annotations
@@ -29,7 +39,12 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.engine import ExecutionEngine, load_last_manifest
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import (
+    ExecutionEngine,
+    ExperimentExecutionError,
+    load_last_manifest,
+)
 from repro.experiments.registry import EXPERIMENTS
 
 #: --format value -> (renderer, file extension)
@@ -45,6 +60,20 @@ def _jobs(value: str) -> int:
     if jobs < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {jobs}")
     return jobs
+
+
+def _retries(value: str) -> int:
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {retries}")
+    return retries
+
+
+def _timeout(value: str) -> float:
+    timeout = float(value)
+    if timeout < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {timeout}")
+    return timeout
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +95,37 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="result-cache directory (default $CRYOWIRE_CACHE_DIR "
         "or ~/.cache/cryowire)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_retries,
+        default=0,
+        metavar="N",
+        help="retry transient failures (timeouts, injected transients) "
+        "up to N times with exponential backoff (default 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_timeout,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock budget (0 disables; default "
+        "scales with the experiment's cost tag)",
+    )
+
+
+def _add_recovery_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="do not abort on experiment failures: emit every completed "
+        "result and report the failures (exit status 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the previous run already completed "
+        "(per the last run manifest)",
     )
 
 
@@ -103,10 +163,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_output_flags(run)
     _add_engine_flags(run)
+    _add_recovery_flags(run)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     _add_output_flags(all_parser)
     _add_engine_flags(all_parser)
+    _add_recovery_flags(all_parser)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured summary of every anchor"
@@ -130,6 +192,9 @@ def _emit(
     output_dir: Optional[str],
     blank_after_each: bool,
 ) -> None:
+    # Failed (or resumed-without-cache) experiments have no result to
+    # render; emit what completed and let main() report the rest.
+    experiment_ids = [eid for eid in experiment_ids if eid in results]
     render, extension = _FORMATS[fmt]
     if output_dir is not None:
         directory = Path(output_dir)
@@ -161,8 +226,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            retries=args.retries,
+            timeout_s=args.timeout,
         )
-        outcome = engine.run(experiment_ids)
+        try:
+            outcome = engine.run(
+                experiment_ids,
+                keep_going=args.keep_going,
+                resume=args.resume,
+            )
+        except ExperimentExecutionError as exc:
+            # Salvage the partial outcome: emit what completed, then fail.
+            print(f"error: {exc}", file=sys.stderr)
+            outcome = exc.outcome
+            if outcome is None:
+                return 1
         _emit(
             experiment_ids,
             outcome.results,
@@ -170,7 +248,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.output,
             blank_after_each=args.command == "all",
         )
-        return 0
+        for record in outcome.failures:
+            print(
+                f"failed: {record.experiment_id} [{record.status}] "
+                f"after {record.attempts} attempt(s): {record.error}",
+                file=sys.stderr,
+            )
+        return 1 if outcome.failures else 0
     if args.command == "report":
         from repro.experiments.report import main as report_main
 
@@ -178,6 +262,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            retries=args.retries,
+            timeout_s=args.timeout,
         )
         print(report_main(runner=engine.run_one))
         return 0
@@ -187,6 +273,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("no run manifest found (run 'cryowire all' first)")
         return 1
     print(manifest.summary())
+    cache = ResultCache(args.cache_dir)
+    print(
+        f"cache: {cache.entry_count()} entries, "
+        f"{cache.quarantined_count()} quarantined"
+    )
     return 0
 
 

@@ -1,8 +1,8 @@
-"""Parallel experiment execution engine with result caching.
+"""Fault-tolerant parallel experiment execution engine with result caching.
 
 ``cryowire all`` used to recompute all 26 figures/tables serially on
 every invocation. The engine keeps the experiment drivers untouched and
-wraps them in three layers:
+wraps them in four layers:
 
 * **fan-out** — experiments are independent, so cache misses are
   dispatched to a ``ProcessPoolExecutor`` (``--jobs N``). Scheduling is
@@ -13,41 +13,91 @@ wraps them in three layers:
   submitted; misses are computed and written back. Keys include the
   experiment module's source digest, so editing a driver invalidates
   exactly its own entries.
+* **fault tolerance** — every execution runs under a per-experiment
+  wall-clock timeout (spec override > engine override > cost-scaled
+  default). Transient failures (injected :class:`TransientFault`s and
+  timeouts) retry with capped exponential backoff and seeded jitter. A
+  worker crash (``BrokenProcessPool``) respawns the pool and re-runs
+  the in-flight experiments *isolated* — one per single-worker pool —
+  so the crasher is attributed precisely; an experiment is quarantined
+  after ``crash_strikes`` attributed crashes, so one poison driver can
+  never wedge the fleet. ``run(..., keep_going=True)`` salvages every
+  completed result instead of raising, and the raising path attaches
+  the partial :class:`RunOutcome` to :class:`ExperimentExecutionError`.
 * **instrumentation** — every run produces a :class:`RunManifest`
-  recording per-experiment wall time, hit/miss status and worker
+  recording per-experiment wall time, status, attempts and worker
   attribution. The manifest is written next to the cache
-  (``last_run.json``) and rendered by ``cryowire stats``.
+  (``last_run.json``), rendered by ``cryowire stats``, and consumed by
+  ``run(..., resume=True)`` to skip experiments the previous run
+  already completed.
 
 Determinism: the experiment drivers are pure functions of their kwargs
 (all randomness goes through seeded ``make_rng``), so parallel execution
 returns byte-identical tables to the serial path — a property the test
-suite asserts over the full registry.
+suite asserts over the full registry. Fault injection (see
+:mod:`repro.util.faults`) is equally deterministic: the chaos suite
+replays identical fault sequences from a fixed seed.
 """
 
 from __future__ import annotations
 
 import datetime as _datetime
 import json
+import logging
 import os
+import threading
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import ResultCache, cache_disabled_by_env
-from repro.experiments.registry import get_spec
+from repro.experiments.registry import ExperimentSpec, get_spec
+from repro.util.faults import TransientFault, fault_point
+from repro.util.rng import make_rng
+
+_LOG = logging.getLogger(__name__)
 
 #: Record statuses.
 HIT = "hit"  # served from the cache
 MISS = "miss"  # computed, then written to the cache
 UNCACHED = "uncached"  # computed; caching off or kwargs not cacheable
-ERROR = "error"  # the driver raised
+ERROR = "error"  # the driver raised (after any retries)
+TIMEOUT = "timeout"  # the driver exceeded its wall-clock budget (after retries)
+QUARANTINED = "quarantined"  # crashed too many workers; benched for this run
+SKIPPED = "skipped"  # completed by a previous run (``resume=True``)
+
+#: Statuses that mean "this run produced no usable result".
+FAILURE_STATUSES = (ERROR, TIMEOUT, QUARANTINED)
+#: Statuses a ``--resume`` run treats as already done.
+COMPLETED_STATUSES = (HIT, MISS, UNCACHED, SKIPPED)
+
+#: Default wall-clock budget per experiment, scaled by the spec's cost
+#: tag. Generous on purpose: the timeout exists to unwedge hung drivers,
+#: not to police slow ones. ``ExperimentSpec.timeout_s`` or the engine's
+#: ``timeout_s`` override it; ``0`` disables.
+DEFAULT_TIMEOUT_S = {"fast": 600.0, "slow": 3600.0}
+
+
+class ExperimentTimeout(RuntimeError):
+    """A driver exceeded its wall-clock budget (retryable)."""
 
 
 class ExperimentExecutionError(RuntimeError):
-    """One or more experiments failed; the manifest was still written."""
+    """One or more experiments failed; the manifest was still written.
+
+    ``outcome`` carries the partial :class:`RunOutcome` — every result
+    that *did* complete plus the full manifest — so callers can salvage
+    finished work instead of recomputing it.
+    """
+
+    def __init__(self, message: str, outcome: Optional["RunOutcome"] = None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
 
 
 @dataclass
@@ -59,6 +109,7 @@ class RunRecord:
     wall_time_s: float = 0.0
     worker_pid: int = 0
     error: str = ""
+    attempts: int = 1
 
     def to_dict(self) -> Dict:
         return {
@@ -67,6 +118,7 @@ class RunRecord:
             "wall_time_s": self.wall_time_s,
             "worker_pid": self.worker_pid,
             "error": self.error,
+            "attempts": self.attempts,
         }
 
     @classmethod
@@ -77,6 +129,7 @@ class RunRecord:
             wall_time_s=data.get("wall_time_s", 0.0),
             worker_pid=data.get("worker_pid", 0),
             error=data.get("error", ""),
+            attempts=data.get("attempts", 1),
         )
 
 
@@ -111,6 +164,27 @@ class RunManifest:
         return self._count(ERROR)
 
     @property
+    def n_timeouts(self) -> int:
+        return self._count(TIMEOUT)
+
+    @property
+    def n_quarantined(self) -> int:
+        return self._count(QUARANTINED)
+
+    @property
+    def n_skipped(self) -> int:
+        return self._count(SKIPPED)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.records if r.status in FAILURE_STATUSES)
+
+    @property
+    def n_retries(self) -> int:
+        """Executions beyond each experiment's first attempt."""
+        return sum(max(0, record.attempts - 1) for record in self.records)
+
+    @property
     def hit_rate(self) -> float:
         return self.n_hits / len(self.records) if self.records else 0.0
 
@@ -120,7 +194,7 @@ class RunManifest:
 
     def to_dict(self) -> Dict:
         return {
-            "schema": 1,
+            "schema": 2,
             "created_at": self.created_at,
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
@@ -132,6 +206,10 @@ class RunManifest:
                 "misses": self.n_misses,
                 "uncached": self.n_uncached,
                 "errors": self.n_errors,
+                "timeouts": self.n_timeouts,
+                "quarantined": self.n_quarantined,
+                "skipped": self.n_skipped,
+                "retries": self.n_retries,
                 "hit_rate": self.hit_rate,
                 "compute_s": self.compute_s,
             },
@@ -168,20 +246,26 @@ class RunManifest:
             f"jobs={self.jobs}  cache={'on' if self.cache_enabled else 'off'}"
             f"  dir={self.cache_dir}",
             "",
-            f"{'experiment':26s} {'status':9s} {'wall_s':>8s} {'worker':>8s}",
-            "-" * 56,
+            f"{'experiment':26s} {'status':12s} {'wall_s':>8s} {'worker':>8s}"
+            f" {'tries':>5s}",
+            "-" * 64,
         ]
         for record in self.records:
             lines.append(
-                f"{record.experiment_id:26s} {record.status:9s} "
-                f"{record.wall_time_s:8.3f} {record.worker_pid:8d}"
+                f"{record.experiment_id:26s} {record.status:12s} "
+                f"{record.wall_time_s:8.3f} {record.worker_pid:8d} "
+                f"{record.attempts:5d}"
                 + (f"  {record.error}" if record.error else "")
             )
-        lines.append("-" * 56)
+        lines.append("-" * 64)
         lines.append(
             f"{len(self.records)} experiments: {self.n_hits} hits, "
             f"{self.n_misses} misses, {self.n_uncached} uncached, "
             f"{self.n_errors} errors; hit rate {self.hit_rate:.1%}"
+        )
+        lines.append(
+            f"retries {self.n_retries}, timeouts {self.n_timeouts}, "
+            f"quarantined {self.n_quarantined}, skipped {self.n_skipped}"
         )
         lines.append(
             f"total compute {self.compute_s:.2f}s, elapsed {self.elapsed_s:.2f}s"
@@ -196,13 +280,102 @@ class RunOutcome:
     results: Dict[str, ExperimentResult]
     manifest: RunManifest
 
+    @property
+    def failures(self) -> List[RunRecord]:
+        return [r for r in self.manifest.records if r.status in FAILURE_STATUSES]
 
-def _execute(experiment_id: str, kwargs: Dict) -> Tuple[str, Dict, float, int]:
-    """Worker-side execution: returns a picklable result payload."""
+
+# -- worker-side execution ---------------------------------------------------
+
+
+def _invoke(experiment_id: str, kwargs: Dict) -> ExperimentResult:
+    """Run one driver, passing through the fault-injection sites."""
+    fault_point("engine.worker")
+    fault_point(f"driver.{experiment_id}")
+    return get_spec(experiment_id).runner(**kwargs)
+
+
+def _call_with_timeout(
+    experiment_id: str, kwargs: Dict, timeout_s: Optional[float]
+) -> ExperimentResult:
+    """Invoke the driver, bounding its wall clock when a budget is set.
+
+    The driver runs on a daemon thread; if it outlives the budget the
+    main (worker) thread raises :class:`ExperimentTimeout` and abandons
+    it. A sleeping hang costs nothing further; a spinning hang leaks one
+    CPU until the worker process is recycled — which the engine's crash
+    handling tolerates by design.
+    """
+    if timeout_s is None:
+        return _invoke(experiment_id, kwargs)
+    box: Dict[str, object] = {}
+
+    def _target() -> None:
+        try:
+            box["result"] = _invoke(experiment_id, kwargs)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=_target, daemon=True, name=f"cryowire-{experiment_id}"
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise ExperimentTimeout(
+            f"{experiment_id} exceeded its {timeout_s:g}s wall-clock budget"
+        )
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["result"]  # type: ignore[return-value]
+
+
+def _error_payload(experiment_id: str, exc: BaseException, wall: float, pid: int) -> Dict:
+    return {
+        "id": experiment_id,
+        "ok": False,
+        "error": f"{type(exc).__name__}: {exc}",
+        "kind": "timeout" if isinstance(exc, ExperimentTimeout) else "error",
+        "transient": isinstance(exc, (TransientFault, ExperimentTimeout)),
+        "wall": wall,
+        "pid": pid,
+    }
+
+
+def _execute(experiment_id: str, kwargs: Dict, timeout_s: Optional[float] = None) -> Dict:
+    """Worker-side execution: always returns a picklable payload.
+
+    Driver exceptions are captured here — *inside* the worker — so the
+    payload carries the real elapsed time and worker pid even for
+    failures (a crash is the only outcome that loses attribution).
+    """
     start = time.perf_counter()
-    result = get_spec(experiment_id).runner(**kwargs)
-    wall = time.perf_counter() - start
-    return experiment_id, result.to_dict(), wall, os.getpid()
+    pid = os.getpid()
+    try:
+        result = _call_with_timeout(experiment_id, kwargs, timeout_s)
+    except Exception as exc:  # noqa: BLE001 - serialized back to the parent
+        return _error_payload(experiment_id, exc, time.perf_counter() - start, pid)
+    return {
+        "id": experiment_id,
+        "ok": True,
+        "result": result.to_dict(),
+        "wall": time.perf_counter() - start,
+        "pid": pid,
+    }
+
+
+@dataclass
+class _Task:
+    """Parent-side bookkeeping for one experiment in flight."""
+
+    experiment_id: str
+    kwargs: Dict
+    key: Optional[str]
+    timeout_s: Optional[float]
+    attempts: int = 0  # executions submitted so far
+    transient_failures: int = 0  # retryable failures consumed so far
+    strikes: int = 0  # attributed worker crashes
+    submitted_at: float = 0.0
 
 
 class ExecutionEngine:
@@ -211,6 +384,26 @@ class ExecutionEngine:
     ``jobs`` caps the worker processes; ``jobs=0`` means one per CPU.
     ``use_cache=False`` (or the ``CRYOWIRE_NO_CACHE`` env var) disables
     memoization but keeps the manifest instrumentation.
+
+    Fault-tolerance knobs:
+
+    ``retries``
+        How many times a *transient* failure (timeout or
+        :class:`~repro.util.faults.TransientFault`) is re-executed,
+        with capped exponential backoff and seeded jitter between
+        attempts. Deterministic driver exceptions are never retried.
+    ``timeout_s``
+        Engine-wide wall-clock budget per experiment. ``None`` defers
+        to the spec's ``timeout_s`` and then to the cost-scaled
+        :data:`DEFAULT_TIMEOUT_S`; ``0`` disables timeouts.
+    ``crash_strikes``
+        A worker crash respawns the pool and re-runs the in-flight
+        experiments isolated (one single-worker pool each) to attribute
+        the crash; an experiment is quarantined once it has crashed
+        ``crash_strikes`` isolated workers.
+    ``rng_seed``
+        Seeds the backoff jitter stream (via ``make_rng``) so sleep
+        schedules replay identically.
     """
 
     def __init__(
@@ -218,12 +411,28 @@ class ExecutionEngine:
         jobs: int = 1,
         use_cache: bool = True,
         cache_dir: Optional[Union[str, Path]] = None,
+        retries: int = 0,
+        timeout_s: Optional[float] = None,
+        crash_strikes: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        rng_seed: Optional[int] = None,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if crash_strikes < 1:
+            raise ValueError(f"crash_strikes must be >= 1, got {crash_strikes}")
         self.jobs = jobs or os.cpu_count() or 1
         self.cache = ResultCache(cache_dir)
         self.use_cache = use_cache and not cache_disabled_by_env()
+        self.retries = retries
+        self.timeout_s = timeout_s
+        self.crash_strikes = crash_strikes
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._backoff_rng = make_rng(rng_seed, stream="engine.backoff")
 
     # -- scheduling ---------------------------------------------------------
 
@@ -235,48 +444,65 @@ class ExecutionEngine:
             key=lambda eid: (get_spec(eid).cost != "slow", eid),
         )
 
+    def _timeout_for(self, spec: ExperimentSpec) -> Optional[float]:
+        """Effective budget: engine override > spec override > cost default."""
+        if self.timeout_s is not None:
+            return self.timeout_s if self.timeout_s > 0 else None
+        if spec.timeout_s is not None:
+            return spec.timeout_s if spec.timeout_s > 0 else None
+        return DEFAULT_TIMEOUT_S[spec.cost]
+
+    def _backoff_s(self, failure_index: int) -> float:
+        """Capped exponential backoff with seeded jitter (failure_index >= 1)."""
+        delay = min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** (failure_index - 1))
+        )
+        return delay * (0.5 + 0.5 * float(self._backoff_rng.random()))
+
     # -- execution ----------------------------------------------------------
 
     def run_one(self, experiment_id: str, **kwargs) -> ExperimentResult:
-        """Cached serial execution of a single experiment."""
-        result, _ = self._run_cached(experiment_id, kwargs)
-        return result
-
-    def _run_cached(
-        self, experiment_id: str, kwargs: Dict
-    ) -> Tuple[ExperimentResult, RunRecord]:
+        """Cached serial execution of a single experiment (with retries)."""
         spec = get_spec(experiment_id)
         cacheable = self.use_cache and self.cache.is_cacheable(kwargs)
         key = self.cache.key_for(spec, kwargs) if cacheable else None
         if key is not None:
-            start = time.perf_counter()
             cached = self.cache.get(key)
             if cached is not None:
-                record = RunRecord(
-                    experiment_id, HIT, time.perf_counter() - start, os.getpid()
-                )
-                return cached, record
-        start = time.perf_counter()
-        result = spec.runner(**kwargs)
-        wall = time.perf_counter() - start
-        if key is not None:
-            self.cache.put(key, result)
-        record = RunRecord(
-            experiment_id, MISS if key is not None else UNCACHED, wall, os.getpid()
-        )
-        return result, record
+                return cached
+        task = _Task(experiment_id, kwargs, key, self._timeout_for(spec))
+        while True:
+            task.attempts += 1
+            payload = _execute(experiment_id, kwargs, task.timeout_s)
+            if self._wants_retry(task, payload):
+                time.sleep(self._backoff_s(task.transient_failures))
+                continue
+            if payload["ok"]:
+                result = ExperimentResult.from_dict(payload["result"])
+                if key is not None:
+                    self.cache.put(key, result)
+                return result
+            raise ExperimentExecutionError(
+                f"{experiment_id} failed after {task.attempts} attempt(s): "
+                f"{payload['error']}"
+            )
 
     def run(
         self,
         experiment_ids: Sequence[str],
         kwargs_by_id: Optional[Dict[str, Dict]] = None,
         write_manifest: bool = True,
+        keep_going: bool = False,
+        resume: bool = False,
     ) -> RunOutcome:
         """Run ``experiment_ids`` (cache-first, misses fanned out).
 
-        Returns every result plus the run manifest; raises
-        :class:`ExperimentExecutionError` after the fleet drains if any
-        experiment failed (the manifest is written either way).
+        Returns every result plus the run manifest. If any experiment
+        fails after retries, ``keep_going=True`` returns the partial
+        :class:`RunOutcome` anyway; otherwise the fleet still drains
+        and an :class:`ExperimentExecutionError` carrying that partial
+        outcome (``exc.outcome``) is raised. ``resume=True`` skips
+        experiments the previous manifest already marks completed.
         """
         kwargs_by_id = kwargs_by_id or {}
         started = time.perf_counter()
@@ -287,13 +513,29 @@ class ExecutionEngine:
             created_at=_datetime.datetime.now(_datetime.timezone.utc).isoformat(),
         )
         results: Dict[str, ExperimentResult] = {}
-        pending: List[Tuple[str, Dict, Optional[str]]] = []
+        pending: List[_Task] = []
+        done_before = self._previously_completed() if resume else frozenset()
 
         for experiment_id in self.schedule(experiment_ids):
             kwargs = kwargs_by_id.get(experiment_id, {})
             spec = get_spec(experiment_id)  # fail fast on unknown ids
             cacheable = self.use_cache and self.cache.is_cacheable(kwargs)
             key = self.cache.key_for(spec, kwargs) if cacheable else None
+            if experiment_id in done_before:
+                start = time.perf_counter()
+                cached = self.cache.get(key) if key is not None else None
+                if cached is not None:
+                    results[experiment_id] = cached
+                manifest.records.append(
+                    RunRecord(
+                        experiment_id,
+                        SKIPPED,
+                        time.perf_counter() - start,
+                        os.getpid(),
+                        attempts=0,
+                    )
+                )
+                continue
             cached = self.cache.get(key) if key is not None else None
             if cached is not None:
                 results[experiment_id] = cached
@@ -301,7 +543,9 @@ class ExecutionEngine:
                     RunRecord(experiment_id, HIT, 0.0, os.getpid())
                 )
             else:
-                pending.append((experiment_id, kwargs, key))
+                pending.append(
+                    _Task(experiment_id, kwargs, key, self._timeout_for(spec))
+                )
 
         if self.jobs > 1 and len(pending) > 1:
             self._run_pool(pending, results, manifest)
@@ -311,91 +555,259 @@ class ExecutionEngine:
         manifest.elapsed_s = time.perf_counter() - started
         if write_manifest:
             manifest.save(self.cache.manifest_path)
-        failures = [r for r in manifest.records if r.status == ERROR]
-        if failures:
-            detail = "; ".join(f"{r.experiment_id}: {r.error}" for r in failures)
-            raise ExperimentExecutionError(
-                f"{len(failures)} experiment(s) failed: {detail}"
+        outcome = RunOutcome(results=results, manifest=manifest)
+        failures = outcome.failures
+        if failures and not keep_going:
+            detail = "; ".join(
+                f"{r.experiment_id} [{r.status}]: {r.error}" for r in failures
             )
-        return RunOutcome(results=results, manifest=manifest)
+            raise ExperimentExecutionError(
+                f"{len(failures)} experiment(s) failed: {detail}", outcome=outcome
+            )
+        return outcome
 
-    def _store(
+    def _previously_completed(self) -> frozenset:
+        """Experiment ids the last manifest marks done (for ``resume``)."""
+        last = load_last_manifest(self.cache.cache_dir)
+        if last is None:
+            _LOG.warning(
+                "resume requested but no previous manifest is readable; "
+                "running everything"
+            )
+            return frozenset()
+        return frozenset(
+            r.experiment_id for r in last.records if r.status in COMPLETED_STATUSES
+        )
+
+    # -- outcome bookkeeping ------------------------------------------------
+
+    def _wants_retry(self, task: _Task, payload: Dict) -> bool:
+        """Consume one retry budget slot for a transient failure."""
+        if payload["ok"] or not payload.get("transient"):
+            return False
+        if task.transient_failures >= self.retries:
+            return False
+        task.transient_failures += 1
+        _LOG.info(
+            "%s: transient failure (%s), retry %d/%d",
+            task.experiment_id,
+            payload["error"],
+            task.transient_failures,
+            self.retries,
+        )
+        return True
+
+    def _finish(
         self,
-        experiment_id: str,
-        key: Optional[str],
-        result: ExperimentResult,
-        wall: float,
-        pid: int,
+        task: _Task,
+        payload: Dict,
         results: Dict[str, ExperimentResult],
         manifest: RunManifest,
     ) -> None:
-        results[experiment_id] = result
-        if key is not None:
-            self.cache.put(key, result)
+        """Record the final outcome of ``task`` (success or failure)."""
+        if payload["ok"]:
+            result = ExperimentResult.from_dict(payload["result"])
+            results[task.experiment_id] = result
+            if task.key is not None:
+                self.cache.put(task.key, result)
+            status = MISS if task.key is not None else UNCACHED
+            manifest.records.append(
+                RunRecord(
+                    task.experiment_id,
+                    status,
+                    payload["wall"],
+                    payload["pid"],
+                    attempts=max(1, task.attempts),
+                )
+            )
+            return
+        status = TIMEOUT if payload.get("kind") == "timeout" else ERROR
         manifest.records.append(
-            RunRecord(experiment_id, MISS if key is not None else UNCACHED, wall, pid)
+            RunRecord(
+                task.experiment_id,
+                status,
+                payload["wall"],
+                payload["pid"],
+                error=payload["error"],
+                attempts=max(1, task.attempts),
+            )
         )
 
-    def _run_inline(self, pending, results, manifest) -> None:
-        for experiment_id, kwargs, key in pending:
-            start = time.perf_counter()
-            try:
-                result = get_spec(experiment_id).runner(**kwargs)
-            except Exception as exc:  # noqa: BLE001 - recorded, then re-raised
-                manifest.records.append(
-                    RunRecord(
-                        experiment_id,
-                        ERROR,
-                        time.perf_counter() - start,
-                        os.getpid(),
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                )
-                continue
-            self._store(
-                experiment_id,
-                key,
-                result,
-                time.perf_counter() - start,
-                os.getpid(),
-                results,
-                manifest,
-            )
+    # -- serial path --------------------------------------------------------
 
-    def _run_pool(self, pending, results, manifest) -> None:
-        keys = {experiment_id: key for experiment_id, _, key in pending}
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute, experiment_id, kwargs): experiment_id
-                for experiment_id, kwargs, _ in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+    def _run_inline(
+        self,
+        pending: List[_Task],
+        results: Dict[str, ExperimentResult],
+        manifest: RunManifest,
+    ) -> None:
+        for task in pending:
+            while True:
+                task.attempts += 1
+                payload = _execute(task.experiment_id, task.kwargs, task.timeout_s)
+                if self._wants_retry(task, payload):
+                    time.sleep(self._backoff_s(task.transient_failures))
+                    continue
+                self._finish(task, payload, results, manifest)
+                break
+
+    # -- pool path ----------------------------------------------------------
+
+    def _new_pool(self, n_tasks: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=max(1, min(self.jobs, n_tasks)))
+
+    def _run_pool(
+        self,
+        pending: List[_Task],
+        results: Dict[str, ExperimentResult],
+        manifest: RunManifest,
+    ) -> None:
+        tasks = {task.experiment_id: task for task in pending}
+        order = {task.experiment_id: i for i, task in enumerate(pending)}
+        ready = deque(task.experiment_id for task in pending)
+        deferred: List[Tuple[float, str]] = []  # (monotonic due time, id)
+        pool = self._new_pool(len(pending))
+        futures: Dict = {}
+        try:
+            while ready or deferred or futures:
+                now = time.monotonic()
+                if deferred:
+                    due = [eid for t, eid in deferred if t <= now]
+                    if due:
+                        deferred = [(t, eid) for t, eid in deferred if t > now]
+                        ready.extend(due)
+                while ready and len(futures) < self.jobs:
+                    task = tasks[ready.popleft()]
+                    task.attempts += 1
+                    task.submitted_at = time.perf_counter()
+                    future = pool.submit(
+                        _execute, task.experiment_id, task.kwargs, task.timeout_s
+                    )
+                    futures[future] = task.experiment_id
+                if not futures:
+                    # Everything is waiting out a backoff window.
+                    next_due = min(t for t, _ in deferred)
+                    time.sleep(max(0.0, next_due - time.monotonic()))
+                    continue
+                wait_timeout = None
+                if deferred:
+                    wait_timeout = max(
+                        0.0, min(t for t, _ in deferred) - time.monotonic()
+                    )
+                done, _ = wait(
+                    set(futures), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                broken: List[str] = []
                 for future in done:
-                    experiment_id = futures[future]
+                    experiment_id = futures.pop(future)
+                    task = tasks[experiment_id]
                     try:
-                        _, payload, wall, pid = future.result()
-                    except Exception as exc:  # noqa: BLE001 - recorded
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        broken.append(experiment_id)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - submission failure
+                        payload = _error_payload(
+                            experiment_id,
+                            exc,
+                            time.perf_counter() - task.submitted_at,
+                            0,
+                        )
+                    if self._wants_retry(task, payload):
+                        deferred.append(
+                            (
+                                time.monotonic()
+                                + self._backoff_s(task.transient_failures),
+                                experiment_id,
+                            )
+                        )
+                    else:
+                        self._finish(task, payload, results, manifest)
+                if broken:
+                    # The pool is dead; every submitted-but-unharvested
+                    # experiment is a crash candidate.
+                    broken.extend(futures.values())
+                    futures.clear()
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    broken.sort(key=lambda eid: order[eid])
+                    _LOG.warning(
+                        "worker crash broke the pool; re-running %d in-flight "
+                        "experiment(s) isolated: %s",
+                        len(broken),
+                        ", ".join(broken),
+                    )
+                    self._recover_crashed(broken, tasks, results, manifest)
+                    pool = self._new_pool(
+                        max(1, len(ready) + len(deferred))
+                    )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _run_isolated(self, task: _Task) -> Tuple[Optional[Dict], bool]:
+        """One execution in a fresh single-worker pool.
+
+        Returns ``(payload, crashed)``: a crash here is unambiguously
+        attributable to ``task``.
+        """
+        with ProcessPoolExecutor(max_workers=1) as solo:
+            future = solo.submit(
+                _execute, task.experiment_id, task.kwargs, task.timeout_s
+            )
+            try:
+                return future.result(), False
+            except BrokenProcessPool:
+                return None, True
+            except Exception as exc:  # noqa: BLE001 - submission failure
+                return _error_payload(task.experiment_id, exc, 0.0, 0), False
+
+    def _recover_crashed(
+        self,
+        candidate_ids: Sequence[str],
+        tasks: Dict[str, _Task],
+        results: Dict[str, ExperimentResult],
+        manifest: RunManifest,
+    ) -> None:
+        """Re-run crash candidates isolated, striking the real crasher.
+
+        Experiments that merely shared the pool with the crasher
+        complete here; the one that keeps killing its own worker
+        accumulates strikes and is quarantined at ``crash_strikes``.
+        """
+        for experiment_id in candidate_ids:
+            task = tasks[experiment_id]
+            while True:
+                task.attempts += 1
+                payload, crashed = self._run_isolated(task)
+                if crashed:
+                    task.strikes += 1
+                    _LOG.warning(
+                        "%s crashed its isolated worker (strike %d/%d)",
+                        experiment_id,
+                        task.strikes,
+                        self.crash_strikes,
+                    )
+                    if task.strikes >= self.crash_strikes:
                         manifest.records.append(
                             RunRecord(
                                 experiment_id,
-                                ERROR,
+                                QUARANTINED,
                                 0.0,
                                 0,
-                                error=f"{type(exc).__name__}: {exc}",
+                                error=(
+                                    f"quarantined after {task.strikes} "
+                                    f"worker crash(es)"
+                                ),
+                                attempts=task.attempts,
                             )
                         )
-                        continue
-                    self._store(
-                        experiment_id,
-                        keys[experiment_id],
-                        ExperimentResult.from_dict(payload),
-                        wall,
-                        pid,
-                        results,
-                        manifest,
-                    )
+                        break
+                    time.sleep(self._backoff_s(task.strikes))
+                    continue
+                if self._wants_retry(task, payload):
+                    time.sleep(self._backoff_s(task.transient_failures))
+                    continue
+                self._finish(task, payload, results, manifest)
+                break
 
 
 def run_experiments(
@@ -403,19 +815,36 @@ def run_experiments(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: Optional[Union[str, Path]] = None,
-    **engine_kwargs,
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
+    **run_kwargs,
 ) -> RunOutcome:
     """One-shot convenience wrapper around :class:`ExecutionEngine`."""
-    engine = ExecutionEngine(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
-    return engine.run(experiment_ids, **engine_kwargs)
+    engine = ExecutionEngine(
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        retries=retries,
+        timeout_s=timeout_s,
+    )
+    return engine.run(experiment_ids, **run_kwargs)
 
 
 def load_last_manifest(
     cache_dir: Optional[Union[str, Path]] = None,
 ) -> Optional[RunManifest]:
-    """The manifest of the most recent engine run, if any."""
+    """The manifest of the most recent engine run, if any.
+
+    Distinguishes the two failure modes so resume problems are
+    diagnosable: a missing manifest is normal (first run) and logged at
+    debug level; an unreadable one is logged as a warning.
+    """
     path = ResultCache(cache_dir).manifest_path
     try:
         return RunManifest.load(path)
-    except (OSError, ValueError, KeyError):
+    except FileNotFoundError:
+        _LOG.debug("no run manifest at %s", path)
+        return None
+    except (OSError, ValueError, KeyError) as exc:
+        _LOG.warning("unreadable run manifest at %s: %s", path, exc)
         return None

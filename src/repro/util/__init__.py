@@ -1,4 +1,5 @@
-"""Shared utilities: physical units, deterministic RNG, and table formatting."""
+"""Shared utilities: physical units, deterministic RNG, table formatting,
+content hashing, and deterministic fault injection."""
 
 from repro.util.units import (
     GHZ,
@@ -17,6 +18,15 @@ from repro.util.units import (
     ns_to_cycles,
 )
 from repro.util.digest import canonical_json, file_digest, is_plain_data, sha256_hex
+from repro.util.faults import (
+    FatalFault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+    fault_point,
+    maybe_corrupt,
+)
 from repro.util.rng import make_rng
 from repro.util.tables import format_table, normalize
 
@@ -42,4 +52,11 @@ __all__ = [
     "file_digest",
     "is_plain_data",
     "sha256_hex",
+    "FatalFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientFault",
+    "fault_point",
+    "maybe_corrupt",
 ]

@@ -41,3 +41,67 @@ class TestReport:
         assert "paper vs measured" in out
         assert "median |diff|" in out
         assert "CryoSP frequency" in out
+
+
+class TestFaultToleranceFlags:
+    def _register_boom(self, experiment_id):
+        from repro.experiments.registry import _SPECS, experiment
+
+        @experiment(experiment_id)
+        def boom():
+            raise RuntimeError("injected CLI failure")
+
+        return lambda: _SPECS.pop(experiment_id, None)
+
+    def test_failure_without_keep_going_salvages_and_fails(
+        self, capsys, tmp_path
+    ):
+        cleanup = self._register_boom("_cli_boom_strict")
+        try:
+            rc = main(
+                ["run", "_cli_boom_strict", "fig20",
+                 "--cache-dir", str(tmp_path / "c")]
+            )
+            assert rc == 1
+            captured = capsys.readouterr()
+            assert "cryobus" in captured.out  # fig20 still emitted
+            assert "experiment(s) failed" in captured.err
+        finally:
+            cleanup()
+
+    def test_keep_going_reports_failures_on_stderr(self, capsys, tmp_path):
+        cleanup = self._register_boom("_cli_boom_keep")
+        try:
+            rc = main(
+                ["run", "_cli_boom_keep", "fig20", "--keep-going",
+                 "--cache-dir", str(tmp_path / "c")]
+            )
+            assert rc == 1
+            captured = capsys.readouterr()
+            assert "cryobus" in captured.out
+            assert "failed: _cli_boom_keep" in captured.err
+        finally:
+            cleanup()
+
+    def test_resume_skips_completed(self, capsys, tmp_path):
+        cache_flags = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["run", "fig20", "table1"] + cache_flags) == 0
+        assert main(["run", "fig20", "table1", "--resume"] + cache_flags) == 0
+        capsys.readouterr()
+        assert main(["stats"] + cache_flags) == 0
+        assert "skipped 2" in capsys.readouterr().out
+
+    def test_stats_reports_cache_and_quarantine(self, capsys, tmp_path):
+        cache_flags = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["run", "fig20"] + cache_flags) == 0
+        capsys.readouterr()
+        assert main(["stats"] + cache_flags) == 0
+        out = capsys.readouterr().out
+        assert "retries 0" in out
+        assert "cache: 1 entries, 0 quarantined" in out
+
+    def test_rejects_negative_retries_and_timeout(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig20", "--retries", "-1"])
+        with pytest.raises(SystemExit):
+            main(["run", "fig20", "--timeout", "-2"])

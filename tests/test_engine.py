@@ -3,6 +3,9 @@ cache, parallel-vs-serial equivalence and the new CLI surface."""
 
 import importlib.util
 import json
+import logging
+import os
+import time
 from pathlib import Path
 
 import pytest
@@ -11,9 +14,11 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import ResultCache
 from repro.experiments.cli import main
 from repro.experiments.engine import (
+    DEFAULT_TIMEOUT_S,
     ExecutionEngine,
     ExperimentExecutionError,
     RunManifest,
+    load_last_manifest,
     run_experiments,
 )
 from repro.experiments.registry import (
@@ -107,11 +112,39 @@ class TestResultCache:
         assert cache.get("missing") is None
         assert cache.entry_count() == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         cache.put("abc123", _sample_result())
         (tmp_path / "cache" / "abc123.json").write_text("{not json")
         assert cache.get("abc123") is None
+        # The bad entry was moved aside, not left to fail on every read.
+        assert not (tmp_path / "cache" / "abc123.json").exists()
+        assert (tmp_path / "cache" / "corrupt" / "abc123.json").exists()
+        assert cache.quarantined_count() == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put("abc123", _sample_result())
+        path.write_bytes(path.read_bytes()[:25])  # torn write survivor
+        assert cache.get("abc123") is None
+        assert cache.quarantined_count() == 1
+
+    def test_tampered_payload_fails_digest_check(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.put("abc123", _sample_result())
+        payload = json.loads(path.read_text())
+        payload["result"]["rows"][0][1] = 99.0  # silent bit-rot / hand edit
+        path.write_text(json.dumps(payload))
+        assert cache.get("abc123") is None
+        assert cache.quarantined_count() == 1
+
+    def test_old_schema_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = tmp_path / "cache" / "abc123.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"result": _sample_result().to_dict()}))
+        assert cache.get("abc123") is None
+        assert cache.quarantined_count() == 1
 
     def test_key_changes_with_kwargs(self, tmp_path):
         source = tmp_path / "fake_experiment.py"
@@ -212,6 +245,87 @@ class TestEngine:
         finally:
             _SPECS.pop("_engine_test_boom", None)
 
+    def test_error_attaches_partial_outcome(self, tmp_path):
+        @experiment("_engine_test_salvage_boom")
+        def boom():
+            raise RuntimeError("kaput")
+
+        try:
+            engine = ExecutionEngine(jobs=1, cache_dir=tmp_path / "cache")
+            with pytest.raises(ExperimentExecutionError) as excinfo:
+                engine.run(["_engine_test_salvage_boom", "fig20"])
+            outcome = excinfo.value.outcome
+            assert outcome is not None
+            # Completed work is salvageable from the exception.
+            assert outcome.results["fig20"].to_text() == run_experiment(
+                "fig20"
+            ).to_text()
+            assert [r.experiment_id for r in outcome.failures] == [
+                "_engine_test_salvage_boom"
+            ]
+        finally:
+            _SPECS.pop("_engine_test_salvage_boom", None)
+
+    def test_keep_going_returns_partial_outcome(self, tmp_path):
+        @experiment("_engine_test_keep_going_boom")
+        def boom():
+            raise RuntimeError("kaput")
+
+        try:
+            engine = ExecutionEngine(jobs=1, cache_dir=tmp_path / "cache")
+            outcome = engine.run(
+                ["_engine_test_keep_going_boom", "fig20"], keep_going=True
+            )
+            assert "fig20" in outcome.results
+            assert "_engine_test_keep_going_boom" not in outcome.results
+            assert len(outcome.failures) == 1
+        finally:
+            _SPECS.pop("_engine_test_keep_going_boom", None)
+
+    def test_pool_failure_records_real_wall_and_pid(self, tmp_path):
+        @experiment("_engine_test_pool_boom")
+        def boom():
+            time.sleep(0.05)
+            raise RuntimeError("pool kaput")
+
+        try:
+            engine = ExecutionEngine(jobs=2, cache_dir=tmp_path / "cache")
+            outcome = engine.run(
+                ["_engine_test_pool_boom", "fig20"], keep_going=True
+            )
+            record = {
+                r.experiment_id: r for r in outcome.manifest.records
+            }["_engine_test_pool_boom"]
+            assert record.status == "error"
+            assert "pool kaput" in record.error
+            assert record.wall_time_s >= 0.05  # not the old 0.0 placeholder
+            assert record.worker_pid not in (0, os.getpid())  # the worker's pid
+        finally:
+            _SPECS.pop("_engine_test_pool_boom", None)
+
+    def test_timeout_resolution_order(self):
+        fast = get_spec("fig20")
+        slow = get_spec("fig18")
+        engine = ExecutionEngine(jobs=1)
+        assert engine._timeout_for(fast) == DEFAULT_TIMEOUT_S["fast"]
+        assert engine._timeout_for(slow) == DEFAULT_TIMEOUT_S["slow"]
+        assert ExecutionEngine(jobs=1, timeout_s=5.0)._timeout_for(fast) == 5.0
+        assert ExecutionEngine(jobs=1, timeout_s=0)._timeout_for(fast) is None
+        spec = ExperimentSpec("_t", lambda: None, timeout_s=9.0)
+        assert engine._timeout_for(spec) == 9.0
+        disabled = ExperimentSpec("_t2", lambda: None, timeout_s=0)
+        assert engine._timeout_for(disabled) is None
+
+    def test_resume_skips_completed_experiments(self, tmp_path):
+        engine = ExecutionEngine(jobs=1, cache_dir=tmp_path / "cache")
+        engine.run(["fig20", "table1"])
+        resumed = engine.run(["fig20", "table1"], resume=True)
+        assert {r.status for r in resumed.manifest.records} == {"skipped"}
+        # Results still served (from cache) so callers can render them.
+        assert resumed.results["fig20"].to_text() == run_experiment(
+            "fig20"
+        ).to_text()
+
     def test_run_one_uses_cache(self, tmp_path):
         engine = ExecutionEngine(jobs=1, cache_dir=tmp_path / "cache")
         first = engine.run_one("fig20")
@@ -248,6 +362,24 @@ class TestFullSuiteParallelAndWarmCache:
         manifest = RunManifest.load(cache_dir / "last_run.json")
         assert len(manifest.records) == len(ids)
         assert manifest.hit_rate >= 0.9
+
+
+class TestLoadLastManifest:
+    def test_missing_manifest_is_quiet(self, tmp_path, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.engine"):
+            assert load_last_manifest(tmp_path / "never-ran") is None
+        assert not caplog.records  # "no manifest yet" is not warning-worthy
+
+    def test_unreadable_manifest_warns(self, tmp_path, caplog):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "last_run.json").write_text("{truncated")
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.engine"):
+            assert load_last_manifest(cache_dir) is None
+        assert any(
+            "unreadable run manifest" in record.getMessage()
+            for record in caplog.records
+        )
 
 
 class TestCliFlags:
