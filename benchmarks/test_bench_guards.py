@@ -1,0 +1,57 @@
+"""Guard-point overhead benchmarks: validation must be free when clean.
+
+``check_operating_point`` sits on every model evaluation (wire
+resistance, gate delay, leakage, repeater optimization), so the same
+discipline as ``fault_point`` applies: a disabled context must be a
+near-no-op, and the enabled clean path a handful of comparisons with no
+allocation. The model-sweep benchmark pins the end-to-end cost where it
+actually matters — a warm repeater-optimizer sweep is dominated by
+arithmetic, not guards.
+"""
+
+from __future__ import annotations
+
+from repro.tech.operating_point import OperatingPoint
+from repro.tech.wire import CryoWireModel
+from repro.util.guards import GuardContext, check_operating_point, use_guards
+
+_OP = OperatingPoint.at(77.0, 0.55, 0.32)
+
+
+def test_bench_check_operating_point_disabled(benchmark):
+    """1000 guard points under a disabled context (the opt-out state)."""
+    with use_guards(GuardContext(enabled=False)):
+
+        def probe():
+            for _ in range(1000):
+                check_operating_point(_OP)
+
+        benchmark(probe)
+
+
+def test_bench_check_operating_point_clean(benchmark):
+    """1000 guard points on an in-domain point (the production state)."""
+    with use_guards() as ctx:
+
+        def probe():
+            for _ in range(1000):
+                check_operating_point(_OP)
+
+        benchmark(probe)
+        assert ctx.total == 0  # the clean path recorded nothing
+
+
+def test_bench_wire_sweep_with_guards(benchmark):
+    """Warm unrepeated-delay sweep with every guard point armed."""
+    model = CryoWireModel()
+    lengths = [200.0, 500.0, 1000.0, 2000.0, 4000.0]
+
+    def sweep():
+        with use_guards():
+            return [
+                model.unrepeated_delay("global", length, _OP)
+                for length in lengths
+            ]
+
+    delays = benchmark(sweep)
+    assert all(d > 0 for d in delays)

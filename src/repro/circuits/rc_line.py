@@ -6,6 +6,15 @@ solution is ``x(t) = exp(-C^-1 G t) x0``, evaluated stably through the
 eigendecomposition of the symmetrised matrix
 ``C^-1/2 G C^-1/2`` (real, positive eigenvalues). Delays are read off the
 waveform by bisection on the monotone output-node voltage.
+
+When the eigensolver fails to produce a usable spectrum (no
+convergence, non-finite output, a non-positive pole, or a slowest pole
+degenerate at working precision), the ladder degrades gracefully to a
+single-pole model with the exact Elmore time constant instead of
+crashing: delays stay within ~15 % of the exact answer (the Elmore bound
+for monotone RC responses) and every downstream result is flagged
+``degraded=True`` so nothing silently launders an estimate as an exact
+solve.
 """
 
 from __future__ import annotations
@@ -15,14 +24,27 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.circuits.elmore import elmore_delay_ladder
+from repro.util.guards import warn
+
+#: Bracket-doubling cap in :meth:`RCLadder.crossing_time`. 2^80 spans 24
+#: decades beyond the slowest time constant; a threshold not crossed by
+#: then indicates a corrupted spectrum, not a slow wire.
+MAX_BRACKET_DOUBLINGS = 80
+
 
 @dataclass(frozen=True)
 class TransientResult:
-    """Step response summary of one ladder simulation."""
+    """Step response summary of one ladder simulation.
+
+    ``degraded`` marks results computed by the single-pole Elmore
+    fallback after an eigensolver failure (see :class:`RCLadder`).
+    """
 
     t50_s: float
     t90_s: float
     n_nodes: int
+    degraded: bool = False
 
     @property
     def t50_ns(self) -> float:
@@ -48,6 +70,8 @@ class RCLadder:
         self.driver_r_ohm = float(driver_r_ohm)
         self.sections = [(float(r), float(c)) for r, c in sections]
         self.load_c_f = float(load_c_f)
+        self.degraded = False
+        self.degraded_reason = ""
         self._decompose()
 
     def _decompose(self) -> None:
@@ -73,9 +97,25 @@ class RCLadder:
 
         inv_sqrt_c = 1.0 / np.sqrt(caps)
         sym = lap * inv_sqrt_c[:, None] * inv_sqrt_c[None, :]
-        eigvals, eigvecs = np.linalg.eigh(sym)
-        if eigvals[0] <= 0:
-            raise RuntimeError("RC ladder produced a non-positive pole")
+        try:
+            eigvals, eigvecs = np.linalg.eigh(sym)
+        except np.linalg.LinAlgError as exc:
+            self._degrade(f"eigensolver failed: {exc}")
+            return
+        if not (np.all(np.isfinite(eigvals)) and np.all(np.isfinite(eigvecs))):
+            self._degrade("eigensolver returned non-finite values")
+            return
+        if eigvals[0] <= 0.0:
+            self._degrade(f"non-positive pole {eigvals[0]:g}")
+            return
+        # A slowest pole below working precision relative to the fastest
+        # is numerically indistinguishable from singular: the waveform
+        # it implies cannot be evaluated meaningfully.
+        if eigvals[0] < eigvals[-1] * np.finfo(float).eps:
+            self._degrade(
+                f"near-degenerate pole spread ({eigvals[0]:g} vs {eigvals[-1]:g})"
+            )
+            return
 
         # v(t) = 1 + sum_k w_k * phi_k(out) * exp(-lambda_k t), where the
         # initial condition is v(0) = 0 => x0 = -1 at every node.
@@ -84,6 +124,26 @@ class RCLadder:
         out_row = eigvecs[-1, :] * inv_sqrt_c[-1]
         self._poles = eigvals
         self._coeffs = weights * out_row
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to a single pole at the exact Elmore time constant.
+
+        The Elmore delay is the first moment of the impulse response —
+        exact for one pole, and within ~15 % of t50 for any monotone RC
+        response — so the degraded waveform ``1 - exp(-t/tau)`` keeps
+        every downstream delay finite and of the right magnitude while
+        ``degraded=True`` flags that this is an estimate.
+        """
+        tau = elmore_delay_ladder(self.driver_r_ohm, self.sections, self.load_c_f)
+        self._poles = np.array([1.0 / tau])
+        self._coeffs = np.array([-1.0])
+        self.degraded = True
+        self.degraded_reason = reason
+        warn(
+            "rc_ladder.degraded",
+            f"exact solve unavailable ({reason}); using single-pole Elmore "
+            f"fallback with tau = {tau:.3g} s over {len(self.sections)} sections",
+        )
 
     def output_voltage(self, t_s: float) -> float:
         """Output-node voltage at time ``t_s`` (unit step input)."""
@@ -98,12 +158,18 @@ class RCLadder:
         # The output of a driver-fed RC ladder rises monotonically, so
         # bisection on an exponentially grown bracket is safe.
         hi = 1.0 / self._poles[0]
-        for _ in range(200):
+        for _ in range(MAX_BRACKET_DOUBLINGS):
             if self.output_voltage(hi) >= threshold:
                 break
             hi *= 2.0
-        else:  # pragma: no cover - physically unreachable
-            raise RuntimeError("output never crossed threshold")
+        else:
+            raise RuntimeError(
+                f"output never reached threshold {threshold:g}: "
+                f"v({hi:.3g} s) = {self.output_voltage(hi):.6g} after "
+                f"{MAX_BRACKET_DOUBLINGS} bracket doublings from the slowest "
+                f"time constant {1.0 / self._poles[0]:.3g} s "
+                "(corrupted spectrum or non-settling waveform)"
+            )
         lo = 0.0
         for _ in range(100):
             mid = 0.5 * (lo + hi)
@@ -119,4 +185,5 @@ class RCLadder:
             t50_s=self.crossing_time(0.5),
             t90_s=self.crossing_time(0.9),
             n_nodes=len(self.sections),
+            degraded=self.degraded,
         )

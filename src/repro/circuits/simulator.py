@@ -23,6 +23,7 @@ from repro.tech.repeater import (
     DRIVER_R0_OHM,
     RepeaterDesign,
 )
+from repro.util.guards import check_operating_point, validate_wire_geometry
 
 #: Default spatial discretisation of a wire segment.
 DEFAULT_SECTIONS = 40
@@ -30,13 +31,18 @@ DEFAULT_SECTIONS = 40
 
 @dataclass(frozen=True)
 class WireSimResult:
-    """Outcome of a circuit-level wire simulation."""
+    """Outcome of a circuit-level wire simulation.
+
+    ``degraded`` is True when any underlying ladder solve fell back to
+    the single-pole Elmore estimate (see :class:`repro.circuits.rc_line.RCLadder`).
+    """
 
     layer_name: str
     length_um: float
     temperature_k: float
     n_repeaters: int
     delay_ns: float
+    degraded: bool = False
 
 
 class CircuitSimulator:
@@ -79,13 +85,32 @@ class CircuitSimulator:
         load_c_f: float = 0.0,
     ) -> float:
         """t50 (ns) of one wire driven through ``driver_r_ohm``."""
+        delay_ns, _ = self._driven_ladder(
+            layer_name, length_um, op, driver_r_ohm=driver_r_ohm, load_c_f=load_c_f
+        )
+        return delay_ns
+
+    def _driven_ladder(
+        self,
+        layer_name: str,
+        length_um: float,
+        op: OperatingPointLike,
+        *,
+        driver_r_ohm: float,
+        load_c_f: float,
+    ) -> tuple[float, bool]:
+        """``(t50_ns, degraded)`` of one driven wire segment."""
         if length_um <= 0:
             raise ValueError("length must be positive")
-        total_r, total_c = self._wire_rc(layer_name, length_um, as_operating_point(op))
+        op = check_operating_point(as_operating_point(op), "circuit_sim.driven_wire")
+        validate_wire_geometry(
+            length_um, layer_name=layer_name, site="circuit_sim.geometry"
+        )
+        total_r, total_c = self._wire_rc(layer_name, length_um, op)
         n = self.n_sections
         sections = [(total_r / n, total_c / n)] * n
         ladder = RCLadder(driver_r_ohm, sections, load_c_f)
-        return ladder.crossing_time(0.5) * 1e9
+        return ladder.crossing_time(0.5) * 1e9, ladder.degraded
 
     def simulate_repeated_wire(
         self,
@@ -113,7 +138,7 @@ class CircuitSimulator:
         # the same receiver size, matching the analytical model).
         load_c = repeater_size * self.driver_cg_ff * 1e-15
         seg_len = length_um / n_repeaters
-        seg_delay = self.simulate_driven_wire(
+        seg_delay, degraded = self._driven_ladder(
             layer_name,
             seg_len,
             op,
@@ -128,6 +153,7 @@ class CircuitSimulator:
             temperature_k=op.temperature_k,
             n_repeaters=n_repeaters,
             delay_ns=total,
+            degraded=degraded,
         )
 
     def simulate_design(

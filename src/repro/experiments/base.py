@@ -15,6 +15,9 @@ class ExperimentResult:
     ``rows`` carry the regenerated data; ``paper_reference`` records the
     values the paper reports for the same quantity (where it reports
     any), so EXPERIMENTS.md can be generated straight from results.
+    ``warnings`` holds the structured model-validity findings
+    (``ModelWarning.to_dict()`` payloads) the driver's guard context
+    collected while producing the table — the result's validity story.
     """
 
     experiment_id: str
@@ -23,6 +26,7 @@ class ExperimentResult:
     rows: List[Tuple] = field(default_factory=list)
     paper_reference: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    warnings: List[Dict] = field(default_factory=list)
 
     def add_row(self, *cells) -> None:
         if len(cells) != len(self.headers):
@@ -68,6 +72,7 @@ class ExperimentResult:
             "rows": [list(row) for row in self.rows],
             "paper_reference": dict(self.paper_reference),
             "notes": self.notes,
+            "warnings": [dict(w) for w in self.warnings],
         }
 
     @classmethod
@@ -84,6 +89,7 @@ class ExperimentResult:
             rows=[tuple(row) for row in data["rows"]],
             paper_reference=dict(data.get("paper_reference", {})),
             notes=data.get("notes", ""),
+            warnings=[dict(w) for w in data.get("warnings", [])],
         )
 
     def to_json(self) -> str:

@@ -10,6 +10,9 @@ Usage::
     cryowire all --no-cache                # force recomputation
     cryowire report                        # paper-vs-measured summary
     cryowire stats                         # manifest of the last engine run
+    cryowire audit                         # physical-invariant sweep
+    cryowire audit --point 4,0.4,0.6       # + describe an off-domain point
+    cryowire run fig23 --strict            # guard warnings become errors
 
 ``run`` and ``all`` execute through the caching execution engine
 (:mod:`repro.experiments.engine`): results are memoized on disk keyed by
@@ -29,6 +32,14 @@ experiments fail, and ``--resume`` skips experiments the previous run
 already completed (per the last manifest). Corrupt cache entries are
 quarantined under ``<cache>/corrupt/`` and recomputed transparently;
 ``cryowire stats`` reports attempts, retries and quarantined entries.
+
+Physics guardrails: drivers run inside a guard context
+(:mod:`repro.util.guards`), so every result carries the structured
+model-validity warnings tripped while producing it. ``--strict``
+escalates the first warning to a failure. ``cryowire audit`` sweeps the
+physical-invariant suite (:mod:`repro.validation.invariants`) over an
+operating-point grid; ``--point T[,VDD[,VTH]]`` additionally validates
+arbitrary (including model-rejected) operating points.
 """
 
 from __future__ import annotations
@@ -112,6 +123,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="per-experiment wall-clock budget (0 disables; default "
         "scales with the experiment's cost tag)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="escalate model-validity warnings to errors (a driver that "
+        "trips a guard fails instead of producing a caveated result)",
+    )
 
 
 def _add_recovery_flags(parser: argparse.ArgumentParser) -> None:
@@ -182,7 +199,58 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache directory holding the manifest",
     )
+
+    audit = sub.add_parser(
+        "audit",
+        help="sweep the physical-invariant suite over an operating-point grid",
+    )
+    audit.add_argument(
+        "--temperatures",
+        default=None,
+        metavar="K[,K...]",
+        help="comma-separated temperature grid in kelvin "
+        "(default 77,135,200,250,300)",
+    )
+    audit.add_argument(
+        "--lengths",
+        default=None,
+        metavar="UM[,UM...]",
+        help="comma-separated wire-length grid in microns "
+        "(default 200,1000,2000,6000)",
+    )
+    audit.add_argument(
+        "--point",
+        action="append",
+        default=[],
+        metavar="T[,VDD[,VTH]]",
+        help="additionally validate this operating point (repeatable); "
+        "validated only, never fed to the models, so out-of-domain "
+        "points are described instead of crashed on",
+    )
+    audit.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first non-info finding instead of reporting",
+    )
     return parser
+
+
+def _csv_floats(text: str, flag: str) -> list:
+    try:
+        return [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"error: {flag} expects comma-separated numbers, got {text!r}")
+
+
+def _parse_point(text: str) -> tuple:
+    parts = [part.strip() for part in text.split(",")]
+    if not parts or len(parts) > 3 or not parts[0]:
+        raise SystemExit(f"error: --point expects T[,VDD[,VTH]], got {text!r}")
+    try:
+        values = [float(part) if part else None for part in parts]
+    except ValueError:
+        raise SystemExit(f"error: --point expects numbers, got {text!r}")
+    return tuple(values) + (None,) * (3 - len(values))
 
 
 def _emit(
@@ -228,6 +296,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_dir=args.cache_dir,
             retries=args.retries,
             timeout_s=args.timeout,
+            strict=args.strict,
         )
         try:
             outcome = engine.run(
@@ -264,9 +333,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_dir=args.cache_dir,
             retries=args.retries,
             timeout_s=args.timeout,
+            strict=args.strict,
         )
         print(report_main(runner=engine.run_one))
         return 0
+    if args.command == "audit":
+        from repro.util.guards import ModelValidityError
+        from repro.validation.invariants import run_audit
+
+        temperatures = (
+            _csv_floats(args.temperatures, "--temperatures")
+            if args.temperatures
+            else None
+        )
+        lengths = _csv_floats(args.lengths, "--lengths") if args.lengths else None
+        points = [_parse_point(text) for text in args.point]
+        try:
+            report = run_audit(
+                temperatures=temperatures,
+                lengths_um=lengths,
+                extra_points=points,
+                strict=args.strict,
+            )
+        except ModelValidityError as exc:
+            print(f"audit failed under --strict: {exc}", file=sys.stderr)
+            return 1
+        print(report.to_text())
+        return 0 if report.ok else 1
     # stats
     manifest = load_last_manifest(args.cache_dir)
     if manifest is None:

@@ -58,6 +58,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import ResultCache, cache_disabled_by_env
 from repro.experiments.registry import ExperimentSpec, get_spec
 from repro.util.faults import TransientFault, fault_point
+from repro.util.guards import GuardContext, use_guards
 from repro.util.rng import make_rng
 
 _LOG = logging.getLogger(__name__)
@@ -110,6 +111,9 @@ class RunRecord:
     worker_pid: int = 0
     error: str = ""
     attempts: int = 1
+    #: Structured model-validity warnings the driver's guard context
+    #: collected (``ModelWarning.to_dict()`` payloads).
+    warnings: List[Dict] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         return {
@@ -119,6 +123,7 @@ class RunRecord:
             "worker_pid": self.worker_pid,
             "error": self.error,
             "attempts": self.attempts,
+            "warnings": list(self.warnings),
         }
 
     @classmethod
@@ -130,6 +135,7 @@ class RunRecord:
             worker_pid=data.get("worker_pid", 0),
             error=data.get("error", ""),
             attempts=data.get("attempts", 1),
+            warnings=list(data.get("warnings", [])),
         )
 
 
@@ -185,6 +191,11 @@ class RunManifest:
         return sum(max(0, record.attempts - 1) for record in self.records)
 
     @property
+    def n_model_warnings(self) -> int:
+        """Model-validity warnings collected across all records."""
+        return sum(len(record.warnings) for record in self.records)
+
+    @property
     def hit_rate(self) -> float:
         return self.n_hits / len(self.records) if self.records else 0.0
 
@@ -194,7 +205,7 @@ class RunManifest:
 
     def to_dict(self) -> Dict:
         return {
-            "schema": 2,
+            "schema": 3,
             "created_at": self.created_at,
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
@@ -210,6 +221,7 @@ class RunManifest:
                 "quarantined": self.n_quarantined,
                 "skipped": self.n_skipped,
                 "retries": self.n_retries,
+                "model_warnings": self.n_model_warnings,
                 "hit_rate": self.hit_rate,
                 "compute_s": self.compute_s,
             },
@@ -267,6 +279,8 @@ class RunManifest:
             f"retries {self.n_retries}, timeouts {self.n_timeouts}, "
             f"quarantined {self.n_quarantined}, skipped {self.n_skipped}"
         )
+        if self.n_model_warnings:
+            lines.append(f"model warnings {self.n_model_warnings}")
         lines.append(
             f"total compute {self.compute_s:.2f}s, elapsed {self.elapsed_s:.2f}s"
         )
@@ -288,15 +302,40 @@ class RunOutcome:
 # -- worker-side execution ---------------------------------------------------
 
 
-def _invoke(experiment_id: str, kwargs: Dict) -> ExperimentResult:
-    """Run one driver, passing through the fault-injection sites."""
+def _invoke(
+    experiment_id: str,
+    kwargs: Dict,
+    strict: bool = False,
+    warning_sink: Optional[List[Dict]] = None,
+) -> ExperimentResult:
+    """Run one driver inside a fresh guard context.
+
+    Model-validity warnings the driver trips are collected into
+    ``warning_sink`` (even when the driver raises — including a
+    :class:`~repro.util.guards.ModelValidityError` under ``strict``) and
+    attached to the returned result's ``warnings`` field. The context is
+    installed here, not in the caller, because the timeout path runs
+    this function on a separate thread and guard contexts are
+    thread-local.
+    """
     fault_point("engine.worker")
     fault_point(f"driver.{experiment_id}")
-    return get_spec(experiment_id).runner(**kwargs)
+    with use_guards(GuardContext(strict=strict)) as guards:
+        try:
+            result = get_spec(experiment_id).runner(**kwargs)
+        finally:
+            if warning_sink is not None:
+                warning_sink.extend(w.to_dict() for w in guards.warnings)
+    result.warnings = [w.to_dict() for w in guards.warnings]
+    return result
 
 
 def _call_with_timeout(
-    experiment_id: str, kwargs: Dict, timeout_s: Optional[float]
+    experiment_id: str,
+    kwargs: Dict,
+    timeout_s: Optional[float],
+    strict: bool = False,
+    warning_sink: Optional[List[Dict]] = None,
 ) -> ExperimentResult:
     """Invoke the driver, bounding its wall clock when a budget is set.
 
@@ -307,12 +346,12 @@ def _call_with_timeout(
     handling tolerates by design.
     """
     if timeout_s is None:
-        return _invoke(experiment_id, kwargs)
+        return _invoke(experiment_id, kwargs, strict, warning_sink)
     box: Dict[str, object] = {}
 
     def _target() -> None:
         try:
-            box["result"] = _invoke(experiment_id, kwargs)
+            box["result"] = _invoke(experiment_id, kwargs, strict, warning_sink)
         except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
             box["error"] = exc
 
@@ -330,7 +369,13 @@ def _call_with_timeout(
     return box["result"]  # type: ignore[return-value]
 
 
-def _error_payload(experiment_id: str, exc: BaseException, wall: float, pid: int) -> Dict:
+def _error_payload(
+    experiment_id: str,
+    exc: BaseException,
+    wall: float,
+    pid: int,
+    warnings: Optional[List[Dict]] = None,
+) -> Dict:
     return {
         "id": experiment_id,
         "ok": False,
@@ -339,28 +384,41 @@ def _error_payload(experiment_id: str, exc: BaseException, wall: float, pid: int
         "transient": isinstance(exc, (TransientFault, ExperimentTimeout)),
         "wall": wall,
         "pid": pid,
+        "warnings": list(warnings or []),
     }
 
 
-def _execute(experiment_id: str, kwargs: Dict, timeout_s: Optional[float] = None) -> Dict:
+def _execute(
+    experiment_id: str,
+    kwargs: Dict,
+    timeout_s: Optional[float] = None,
+    strict: bool = False,
+) -> Dict:
     """Worker-side execution: always returns a picklable payload.
 
     Driver exceptions are captured here — *inside* the worker — so the
     payload carries the real elapsed time and worker pid even for
     failures (a crash is the only outcome that loses attribution).
+    Guard warnings the driver collected travel in the payload either
+    way: under ``strict`` a tripped guard is the error *and* its
+    structured record is still delivered.
     """
     start = time.perf_counter()
     pid = os.getpid()
+    sink: List[Dict] = []
     try:
-        result = _call_with_timeout(experiment_id, kwargs, timeout_s)
+        result = _call_with_timeout(experiment_id, kwargs, timeout_s, strict, sink)
     except Exception as exc:  # noqa: BLE001 - serialized back to the parent
-        return _error_payload(experiment_id, exc, time.perf_counter() - start, pid)
+        return _error_payload(
+            experiment_id, exc, time.perf_counter() - start, pid, sink
+        )
     return {
         "id": experiment_id,
         "ok": True,
         "result": result.to_dict(),
         "wall": time.perf_counter() - start,
         "pid": pid,
+        "warnings": sink,
     }
 
 
@@ -404,6 +462,12 @@ class ExecutionEngine:
     ``rng_seed``
         Seeds the backoff jitter stream (via ``make_rng``) so sleep
         schedules replay identically.
+    ``strict``
+        Drivers run under a strict guard context: the first
+        model-validity warning raises
+        :class:`~repro.util.guards.ModelValidityError` inside the worker
+        and the experiment fails (non-transient) instead of producing a
+        result with caveats.
     """
 
     def __init__(
@@ -417,6 +481,7 @@ class ExecutionEngine:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         rng_seed: Optional[int] = None,
+        strict: bool = False,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -432,6 +497,7 @@ class ExecutionEngine:
         self.crash_strikes = crash_strikes
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.strict = strict
         self._backoff_rng = make_rng(rng_seed, stream="engine.backoff")
 
     # -- scheduling ---------------------------------------------------------
@@ -473,7 +539,7 @@ class ExecutionEngine:
         task = _Task(experiment_id, kwargs, key, self._timeout_for(spec))
         while True:
             task.attempts += 1
-            payload = _execute(experiment_id, kwargs, task.timeout_s)
+            payload = _execute(experiment_id, kwargs, task.timeout_s, self.strict)
             if self._wants_retry(task, payload):
                 time.sleep(self._backoff_s(task.transient_failures))
                 continue
@@ -605,6 +671,7 @@ class ExecutionEngine:
         manifest: RunManifest,
     ) -> None:
         """Record the final outcome of ``task`` (success or failure)."""
+        warnings = list(payload.get("warnings", []))
         if payload["ok"]:
             result = ExperimentResult.from_dict(payload["result"])
             results[task.experiment_id] = result
@@ -618,6 +685,7 @@ class ExecutionEngine:
                     payload["wall"],
                     payload["pid"],
                     attempts=max(1, task.attempts),
+                    warnings=warnings,
                 )
             )
             return
@@ -630,6 +698,7 @@ class ExecutionEngine:
                 payload["pid"],
                 error=payload["error"],
                 attempts=max(1, task.attempts),
+                warnings=warnings,
             )
         )
 
@@ -644,7 +713,9 @@ class ExecutionEngine:
         for task in pending:
             while True:
                 task.attempts += 1
-                payload = _execute(task.experiment_id, task.kwargs, task.timeout_s)
+                payload = _execute(
+                    task.experiment_id, task.kwargs, task.timeout_s, self.strict
+                )
                 if self._wants_retry(task, payload):
                     time.sleep(self._backoff_s(task.transient_failures))
                     continue
@@ -681,7 +752,11 @@ class ExecutionEngine:
                     task.attempts += 1
                     task.submitted_at = time.perf_counter()
                     future = pool.submit(
-                        _execute, task.experiment_id, task.kwargs, task.timeout_s
+                        _execute,
+                        task.experiment_id,
+                        task.kwargs,
+                        task.timeout_s,
+                        self.strict,
                     )
                     futures[future] = task.experiment_id
                 if not futures:
@@ -751,7 +826,11 @@ class ExecutionEngine:
         """
         with ProcessPoolExecutor(max_workers=1) as solo:
             future = solo.submit(
-                _execute, task.experiment_id, task.kwargs, task.timeout_s
+                _execute,
+                task.experiment_id,
+                task.kwargs,
+                task.timeout_s,
+                self.strict,
             )
             try:
                 return future.result(), False
@@ -817,6 +896,7 @@ def run_experiments(
     cache_dir: Optional[Union[str, Path]] = None,
     retries: int = 0,
     timeout_s: Optional[float] = None,
+    strict: bool = False,
     **run_kwargs,
 ) -> RunOutcome:
     """One-shot convenience wrapper around :class:`ExecutionEngine`."""
@@ -826,6 +906,7 @@ def run_experiments(
         cache_dir=cache_dir,
         retries=retries,
         timeout_s=timeout_s,
+        strict=strict,
     )
     return engine.run(experiment_ids, **run_kwargs)
 

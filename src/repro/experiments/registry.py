@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.experiments.base import ExperimentResult
+from repro.util.guards import GuardContext, get_guards, use_guards
 
 Runner = Callable[..., ExperimentResult]
 
@@ -139,8 +140,15 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Serial, uncached execution — the thin wrapper existing callers use.
 
     The parallel/cached path lives in :mod:`repro.experiments.engine`.
+    Like the engine, the driver runs in a *fresh* guard context
+    (inheriting strictness from the ambient one) and the collected
+    model-validity warnings are attached to the result — so this path
+    and the engine return byte-identical results, warnings included.
     """
-    return get_experiment(experiment_id)(**kwargs)
+    with use_guards(GuardContext(strict=get_guards().strict)) as guards:
+        result = get_experiment(experiment_id)(**kwargs)
+    result.warnings = [w.to_dict() for w in guards.warnings]
+    return result
 
 
 # Importing the experiment modules fires their ``@experiment`` decorators

@@ -33,9 +33,14 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.noc.measure import LatencyMeter, LoadLatencyPoint
 from repro.noc.topology import RouterTopology
 from repro.noc.traffic import TrafficPattern
+from repro.util.guards import SimulationStalled
 
 #: Injection/ejection pseudo-port index.
 LOCAL_PORT = -1
+
+#: Watchdog floor: never call a network stalled in fewer cycles than
+#: this, however small the topology (keeps bursty low-load runs safe).
+MIN_STALL_CYCLES = 1024
 
 # Flits are plain tuples in the hot loop:
 # (dst_router, is_head, is_tail, inject_cycle, measured)
@@ -122,11 +127,24 @@ class FlitLevelSimulator:
         warmup_fraction: float = 0.2,
         seed: str = "flit",
         drain_cycles: Optional[int] = None,
+        stall_cycles: Optional[int] = None,
     ) -> LoadLatencyPoint:
+        """Run the flit-level simulation for one load point.
+
+        ``stall_cycles`` tunes the no-forward-progress watchdog: if the
+        network holds flits for that many consecutive cycles without a
+        single packet ejecting, the run aborts with
+        :class:`~repro.util.guards.SimulationStalled` (carrying a state
+        snapshot) instead of spinning to the horizon. The default scales
+        with the zero-load latency and is far beyond any legitimate
+        backlog a finite-buffer network can sit on.
+        """
         if pattern.n_nodes != self.topology.n_nodes:
             raise ValueError("pattern/topology node counts differ")
         if n_cycles < 100:
             raise ValueError("simulation too short to measure anything")
+        if stall_cycles is not None and stall_cycles < 1:
+            raise ValueError("stall_cycles must be >= 1")
         warmup = int(n_cycles * warmup_fraction)
         drain = drain_cycles if drain_cycles is not None else 3 * n_cycles
         meter = LatencyMeter(warmup)
@@ -190,6 +208,17 @@ class FlitLevelSimulator:
         buffer_flits = self.buffer_flits
         horizon = n_cycles + drain
         cycle = 0
+
+        # No-forward-progress watchdog: ``stall_anchor`` marks the last
+        # cycle a packet ejected (or the network went from empty to
+        # holding work). It only ticks while flits are buffered or on a
+        # link -- long idle gaps between injections never trip it.
+        stall_limit = (
+            stall_cycles
+            if stall_cycles is not None
+            else max(MIN_STALL_CYCLES, 16 * int(zero_load))
+        )
+        stall_anchor: Optional[int] = None
 
         while cycle < horizon:
             # 1. Deliver link arrivals scheduled for this cycle.
@@ -295,6 +324,7 @@ class FlitLevelSimulator:
                                 out_ports[(upstream, router)].credits[vc] += 1
                             if flit[_TAIL]:
                                 assign[vc] = None
+                                stall_anchor = cycle  # forward progress
                                 if flit[_MEASURED]:
                                     deliver(flit[_INJECT], cycle + 1)
                             port.rr_sw = vc + 1
@@ -329,6 +359,41 @@ class FlitLevelSimulator:
                         active.discard(pid)
 
             cycle += 1
+
+            if active or arrival_heap:
+                if stall_anchor is None:
+                    stall_anchor = cycle
+                elif cycle - stall_anchor > stall_limit:
+                    raise SimulationStalled(
+                        f"flit-level simulation made no forward progress for "
+                        f"{cycle - stall_anchor} cycles (limit {stall_limit}) "
+                        f"at cycle {cycle}: flits are buffered or in flight "
+                        "but nothing is ejecting (deadlocked or livelocked "
+                        "routing)",
+                        snapshot={
+                            "cycle": cycle,
+                            "stalled_for": cycle - stall_anchor,
+                            "stall_limit": stall_limit,
+                            "active_ports": len(active),
+                            "buffered_flits": sum(
+                                len(buf) for port in ports for buf in port.bufs
+                            ),
+                            "in_flight_flits": sum(
+                                len(moves) for moves in in_flight.values()
+                            ),
+                            "pending_injections": sum(
+                                len(queue) for queue in pending.values()
+                            ),
+                            "owned_output_vcs": sum(
+                                1
+                                for out in out_ports.values()
+                                for holder in out.owner
+                                if holder is not None
+                            ),
+                        },
+                    )
+            else:
+                stall_anchor = None
 
             if cycle >= n_cycles and meter.mean_saturated(zero_load):
                 # Drain bound: the saturation verdict can no longer

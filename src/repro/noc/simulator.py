@@ -38,6 +38,7 @@ from repro.noc.measure import (
 )
 from repro.noc.topology import RouterTopology
 from repro.noc.traffic import TrafficPattern
+from repro.util.guards import SimulationStalled
 
 __all__ = [
     "LoadLatencyPoint",
@@ -182,7 +183,23 @@ class NocSimulator:
                     way_packets[i][1] for _, _, i in pending
                 }
                 winner = arbiter.grant(requesters)
-                assert winner is not None
+                if winner is None or not by_core.get(winner):
+                    # A healthy matrix arbiter always grants one of its
+                    # requesters; an unusable grant would loop forever on
+                    # the same pending set. Fail loudly with the state.
+                    raise SimulationStalled(
+                        f"bus arbitration produced an unusable grant "
+                        f"({winner!r}) at cycle {now}: {len(pending)} "
+                        "requests pending and none can make progress",
+                        snapshot={
+                            "cycle": now,
+                            "winner": winner,
+                            "pending_requests": len(pending),
+                            "requesters": sorted(requesters),
+                            "admitted": idx,
+                            "way_total": len(way_packets),
+                        },
+                    )
                 win_idx = by_core[winner].pop(0)
                 pending = [(r, s, i) for r, s, i in pending if i != win_idx]
                 heapq.heapify(pending)

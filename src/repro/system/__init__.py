@@ -18,7 +18,12 @@ from repro.system.config import (
     NocSpec,
     SystemConfig,
 )
-from repro.system.multicore import CpiStack, MulticoreSystem, WorkloadResult
+from repro.system.multicore import (
+    ConvergenceInfo,
+    CpiStack,
+    MulticoreSystem,
+    WorkloadResult,
+)
 
 __all__ = [
     "CoreSpec",
@@ -34,4 +39,5 @@ __all__ = [
     "MulticoreSystem",
     "WorkloadResult",
     "CpiStack",
+    "ConvergenceInfo",
 ]

@@ -23,12 +23,28 @@ from repro.noc.latency import AnalyticNocModel, IdealNoc
 from repro.noc.router import RouterModel
 from repro.noc.topology import Mesh
 from repro.system.config import SystemConfig
+from repro.util.guards import (
+    get_guards,
+    validate_operating_point,
+    validate_workload_profile,
+)
 from repro.workloads.prefetch import StridePrefetcher
 from repro.workloads.profiles import WorkloadProfile
 
 #: Memory-level-parallelism exposure: fraction of raw miss latency that
 #: shows up as pipeline stall (the rest overlaps with execution).
 MLP_EXPOSURE = 0.6
+
+#: Residual at or below this certifies convergence even when the loop
+#: exhausted its iteration budget without an exact-repeat/tolerance exit.
+CONVERGENCE_RTOL = 1e-6
+
+#: Initial damping of the fixed-point update (fraction of the previous
+#: iterate retained). Raised adaptively when the iterate oscillates.
+INITIAL_DAMPING = 0.5
+
+#: Ceiling for adaptive damping (retaining more would stall progress).
+MAX_DAMPING = 0.9
 
 
 @dataclass(frozen=True)
@@ -57,18 +73,39 @@ class CpiStack:
 
     def fractions(self) -> Dict[str, float]:
         total = self.total
-        return {
-            name: getattr(self, name) / total
-            for name in (
-                "core",
-                "branch",
-                "private_cache",
-                "noc",
-                "shared_cache",
-                "dram",
-                "sync",
-            )
-        }
+        names = (
+            "core",
+            "branch",
+            "private_cache",
+            "noc",
+            "shared_cache",
+            "dram",
+            "sync",
+        )
+        # A degenerate all-zero stack (synthetic inputs, trace replay of
+        # an empty window) has no meaningful decomposition; report zeros
+        # rather than dividing by zero.
+        if total == 0.0:
+            return {name: 0.0 for name in names}
+        return {name: getattr(self, name) / total for name in names}
+
+
+@dataclass(frozen=True)
+class ConvergenceInfo:
+    """Certificate for one fixed-point solve of :meth:`MulticoreSystem.evaluate`.
+
+    ``converged`` is True when the loop exited on an exact repeat, met
+    the caller's tolerance, or finished with a relative residual at or
+    below :data:`CONVERGENCE_RTOL`. ``damping`` is the final damping
+    factor in effect (> :data:`INITIAL_DAMPING` means the iterate
+    oscillated and the loop stabilised itself); ``saturation_clamped``
+    records whether the NoC load ever had to be clamped below saturation.
+    """
+
+    converged: bool
+    residual: float
+    damping: float
+    saturation_clamped: bool = False
 
 
 @dataclass(frozen=True)
@@ -85,6 +122,8 @@ class WorkloadResult:
     #: Fixed-point iterations actually run (0 for results built by code
     #: paths that do not iterate, e.g. trace replay).
     iterations_used: int = 0
+    #: Convergence certificate (None for non-iterative code paths).
+    convergence: Optional[ConvergenceInfo] = None
 
     @property
     def time_per_kilo_instruction_ns(self) -> float:
@@ -150,7 +189,11 @@ class MulticoreSystem:
         l2_mpki = profile.l2_mpki
         if prefetcher is not None:
             l2_mpki = prefetcher.effective_l2_mpki(profile)
-        c2c = l2_mpki * profile.sharing_fraction
+        # sharing_fraction is a fraction of L2 misses, so coherence
+        # traffic can never exceed the misses themselves; clamp so a
+        # duck-typed profile with sharing_fraction > 1 cannot push the
+        # DRAM/L3 split negative.
+        c2c = min(l2_mpki * profile.sharing_fraction, l2_mpki)
         dram = min(profile.l3_mpki, l2_mpki - c2c)
         dram = max(dram, 0.0)
         l3_hit = max(l2_mpki - c2c - dram, 0.0)
@@ -186,11 +229,23 @@ class MulticoreSystem:
         the same state bit for bit, so the result is identical to running
         all ``iterations``); a positive ``tolerance`` accepts a relative
         IPC change at or below it. ``iterations_used`` on the result
-        reports how many iterations actually ran.
+        reports how many iterations actually ran, and ``convergence``
+        carries the certificate: final relative residual, the damping in
+        effect (raised adaptively if the iterate oscillated), and whether
+        the saturation clamp ever engaged. A solve that ends uncertified
+        (residual above :data:`CONVERGENCE_RTOL`) or clamped records a
+        guard warning (an error under a strict :class:`GuardContext`).
         """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
         if tolerance < 0.0:
             raise ValueError("tolerance must be non-negative")
         cfg = self.config
+        guards = get_guards()
+        validate_workload_profile(profile, site="multicore.workload", guards=guards)
+        validate_operating_point(
+            cfg.noc.operating_point, site="multicore.operating_point", guards=guards
+        )
         f_core = cfg.core.frequency_ghz
         core_cpi = self.ipc_model.issue_cpi(cfg.core.config, profile)
         branch_cpi = self.ipc_model.restart_cpi(cfg.core.config, profile)
@@ -200,6 +255,12 @@ class MulticoreSystem:
         stack = None
         load = 0.0
         iterations_used = 0
+        damping = INITIAL_DAMPING
+        residual = float("inf")
+        prev_delta = 0.0
+        osc_streak = 0
+        saturation_clamped = False
+        converged = False
         for _ in range(iterations):
             # Contention is driven by request packets: snooping buses
             # carry data on a separate wide data path (only the address
@@ -214,6 +275,7 @@ class MulticoreSystem:
             sat = self.noc.saturation_rate()
             if load >= sat:
                 load = 0.98 * sat
+                saturation_clamped = True
 
             hit = self.hierarchy.l3_hit(load)
             miss = self.hierarchy.l3_miss(load)
@@ -254,15 +316,46 @@ class MulticoreSystem:
             )
             # Damped update keeps the loop stable around saturation.
             iterations_used += 1
-            new_ipc = 0.5 * ipc + 0.5 * (1.0 / stack.total)
+            new_ipc = damping * ipc + (1.0 - damping) * (1.0 / stack.total)
+            delta = new_ipc - ipc
+            residual = abs(delta) / abs(ipc)
             converged = new_ipc == ipc or (
-                tolerance > 0.0 and abs(new_ipc - ipc) <= tolerance * abs(ipc)
+                tolerance > 0.0 and abs(delta) <= tolerance * abs(ipc)
             )
+            # Adaptive damping: two consecutive sign-flipping,
+            # non-shrinking steps mean the iterate is bouncing across
+            # the fixed point — retain more of the previous iterate.
+            # (Two events, not one, so a single overshoot on an
+            # otherwise contracting path leaves the solve untouched.)
+            if delta * prev_delta < 0.0 and abs(delta) >= abs(prev_delta):
+                osc_streak += 1
+                if osc_streak >= 2:
+                    damping = min(MAX_DAMPING, 0.5 * (1.0 + damping))
+                    osc_streak = 0
+            else:
+                osc_streak = 0
+            prev_delta = delta
             ipc = new_ipc
             if converged:
                 break
 
         assert stack is not None
+        certified = converged or residual <= CONVERGENCE_RTOL
+        if saturation_clamped:
+            guards.warn(
+                "multicore.saturation",
+                f"{cfg.name}/{profile.name}: NoC demand exceeded saturation; "
+                "load clamped to 98% of capacity (throughput-limited regime)",
+                op=cfg.noc.operating_point,
+            )
+        if not certified:
+            guards.warn(
+                "multicore.convergence",
+                f"{cfg.name}/{profile.name}: fixed point uncertified after "
+                f"{iterations_used} iterations (residual {residual:.3g} > "
+                f"{CONVERGENCE_RTOL:g}, damping {damping:g})",
+                op=cfg.noc.operating_point,
+            )
         return WorkloadResult(
             system_name=cfg.name,
             workload_name=profile.name,
@@ -272,6 +365,12 @@ class MulticoreSystem:
             injection_rate_per_core=split["noc_requests_pki"] / 1000.0 * ipc,
             noc_aggregate_rate=load,
             iterations_used=iterations_used,
+            convergence=ConvergenceInfo(
+                converged=certified,
+                residual=residual,
+                damping=damping,
+                saturation_clamped=saturation_clamped,
+            ),
         )
 
     def evaluate_suite(

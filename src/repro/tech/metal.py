@@ -21,6 +21,7 @@ from typing import Dict
 from repro.tech.context import get_context
 from repro.tech.operating_point import OperatingPointLike, as_operating_point
 from repro.tech.resistivity import CryoResistivityModel
+from repro.util.guards import check_operating_point
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,9 @@ class MetalLayer:
         Wires only care about the temperature component; ``op`` may be a
         bare temperature (the legacy form) or an ``OperatingPoint``.
         """
-        temperature_k = as_operating_point(op).temperature_k
+        temperature_k = check_operating_point(
+            as_operating_point(op), "metal.wire_resistance"
+        ).temperature_k
         return get_context().memo(
             ("wire_r", self, temperature_k),
             lambda: self.resistivity.resistivity(temperature_k)

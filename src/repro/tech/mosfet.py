@@ -46,6 +46,7 @@ from typing import Optional
 
 from repro.tech.constants import BOLTZMANN_EV, T_LN2, T_ROOM, check_temperature
 from repro.tech.context import get_context
+from repro.util.guards import check_operating_point
 from repro.tech.operating_point import (
     OperatingPoint,
     OperatingPointLike,
@@ -186,7 +187,9 @@ class CryoMOSFET:
         Gate delay is C*V_dd/I_on; capacitance is treated as
         temperature-independent.
         """
-        op = as_operating_point(op, vdd_v, vth_v)
+        op = check_operating_point(
+            as_operating_point(op, vdd_v, vth_v), "mosfet.gate_delay"
+        )
         return get_context().memo(
             ("gate_delay", self.card, op.key), lambda: self._gate_delay_factor(op)
         )
@@ -233,7 +236,9 @@ class CryoMOSFET:
         yield a factor in the hundreds, which is why the paper stresses
         that the scaling is *only* feasible at cryogenic temperatures.
         """
-        op = as_operating_point(op, vdd_v, vth_v)
+        op = check_operating_point(
+            as_operating_point(op, vdd_v, vth_v), "mosfet.leakage"
+        )
         return get_context().memo(
             ("leakage", self.card, op.key),
             lambda: self._leakage_raw(op) / self._leak_nominal_300,

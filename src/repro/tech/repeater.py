@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.tech.constants import T_ROOM
 from repro.tech.context import get_context
+from repro.util.guards import check_operating_point, validate_wire_geometry
 from repro.tech.metal import OHM_FF_TO_NS, MetalLayer
 from repro.tech.mosfet import CryoMOSFET, MOSFETCard, INDUSTRY_2Z_CARD
 from repro.tech.operating_point import (
@@ -170,7 +171,12 @@ class RepeaterOptimizer:
         """
         if length_um <= 0:
             raise ValueError("length must be positive")
-        op = as_operating_point(op, vdd_v, vth_v)
+        op = check_operating_point(
+            as_operating_point(op, vdd_v, vth_v), "repeater.optimize"
+        )
+        validate_wire_geometry(
+            length_um, layer_name=self.layer.name, site="repeater.geometry"
+        )
         return get_context().memo(
             ("repeater_opt", *self._spec_key(), length_um, op.key),
             lambda: self._optimize(length_um, op),

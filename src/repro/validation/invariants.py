@@ -1,0 +1,273 @@
+"""Physical-invariant audit of the wire/device modeling stack.
+
+The paper's conclusions rest on delay *ratios* behaving physically
+across wide temperature/voltage sweeps. :func:`run_audit` sweeps an
+operating-point grid and checks the invariants any correct
+implementation of the models must satisfy:
+
+* **resistance** — wire R per micron is non-decreasing in temperature
+  (phonon scattering only ever adds resistivity) for every layer of the
+  calibrated stack;
+* **delay vs. temperature** — unrepeated wire delay is non-decreasing in
+  temperature (colder wires are never slower), and in particular the
+  77 K delay never exceeds the 300 K delay;
+* **delay vs. length** — unrepeated and repeated delays are strictly
+  increasing in wire length;
+* **repeater optimality** — the design the optimizer returns cannot be
+  beaten by its neighbours (one more or one fewer repeater, +/-10 %
+  repeater size);
+* **domain validity** — every grid point passes the guard validators
+  without error-severity findings.
+
+The audit runs inside its own :class:`~repro.util.guards.GuardContext`
+(strict on request) and a fresh
+:class:`~repro.tech.context.TechContext`, so it neither inherits nor
+pollutes ambient memoization/warning state. ``cryowire audit`` is the
+CLI face of this module; CI runs it on the default grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.tech.context import TechContext, use_context
+from repro.tech.metal import FREEPDK45_STACK
+from repro.tech.operating_point import OperatingPoint
+from repro.tech.wire import CryoWireModel
+from repro.util.guards import (
+    ERROR,
+    GuardContext,
+    ModelWarning,
+    use_guards,
+    validate_operating_point,
+)
+
+#: Default operating-point grid: the two calibration anchors plus the
+#: paper's 135 K validation point and two interior points.
+DEFAULT_TEMPERATURES: Tuple[float, ...] = (77.0, 135.0, 200.0, 250.0, 300.0)
+
+#: Default length grid (um): intra-core forwarding, semi-global runs,
+#: a 2 mm NoC link and the 6 mm validation link.
+DEFAULT_LENGTHS_UM: Tuple[float, ...] = (200.0, 1000.0, 2000.0, 6000.0)
+
+#: Relative slack for optimality comparisons (pure float noise).
+_OPT_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken physical invariant found by the audit."""
+
+    invariant: str
+    site: str
+    message: str
+
+    def render(self) -> str:
+        return f"[violation] {self.invariant} @ {self.site}: {self.message}"
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one :func:`run_audit` sweep."""
+
+    violations: Tuple[InvariantViolation, ...]
+    warnings: Tuple[ModelWarning, ...]
+    checks: int
+    temperatures: Tuple[float, ...]
+    lengths_um: Tuple[float, ...]
+
+    @property
+    def errors(self) -> Tuple[ModelWarning, ...]:
+        return tuple(w for w in self.warnings if w.severity == ERROR)
+
+    @property
+    def ok(self) -> bool:
+        """Clean: every invariant held and no error-severity findings."""
+        return not self.violations and not self.errors
+
+    def to_text(self) -> str:
+        lines = [
+            f"== cryowire audit: {self.checks} checks over "
+            f"T={list(self.temperatures)} K, L={list(self.lengths_um)} um ==",
+        ]
+        for violation in self.violations:
+            lines.append(violation.render())
+        for warning in self.warnings:
+            lines.append(warning.render())
+        lines.append(
+            f"result: {'PASS' if self.ok else 'FAIL'} "
+            f"({len(self.violations)} violation(s), "
+            f"{len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning record(s))"
+        )
+        return "\n".join(lines)
+
+
+class _Audit:
+    """Mutable state of one sweep (violations + check counter)."""
+
+    def __init__(self) -> None:
+        self.violations: List[InvariantViolation] = []
+        self.checks = 0
+
+    def check(self, condition: bool, invariant: str, site: str, message: str) -> None:
+        self.checks += 1
+        if not condition:
+            self.violations.append(InvariantViolation(invariant, site, message))
+
+
+def _audit_resistance(audit: _Audit, model: CryoWireModel, temps: Sequence[float]) -> None:
+    """Wire R/um non-decreasing in temperature, per layer."""
+    for name, layer in model.stack.layers.items():
+        values = [layer.resistance_per_um(OperatingPoint.at(t)) for t in temps]
+        for (t_lo, r_lo), (t_hi, r_hi) in zip(
+            zip(temps, values), zip(temps[1:], values[1:])
+        ):
+            audit.check(
+                r_lo <= r_hi * (1.0 + _OPT_RTOL),
+                "resistance_monotone_T",
+                name,
+                f"R({t_lo:g} K) = {r_lo:g} > R({t_hi:g} K) = {r_hi:g} ohm/um",
+            )
+
+
+def _audit_delay_vs_temperature(
+    audit: _Audit,
+    model: CryoWireModel,
+    temps: Sequence[float],
+    lengths: Sequence[float],
+) -> None:
+    """Unrepeated delay non-decreasing in T; 77 K never slower than 300 K."""
+    for name in model.stack.layers:
+        for length in lengths:
+            delays = [
+                model.unrepeated_delay(name, length, OperatingPoint.at(t))
+                for t in temps
+            ]
+            for (t_lo, d_lo), (t_hi, d_hi) in zip(
+                zip(temps, delays), zip(temps[1:], delays[1:])
+            ):
+                audit.check(
+                    d_lo <= d_hi * (1.0 + _OPT_RTOL),
+                    "delay_monotone_T",
+                    f"{name}/{length:g}um",
+                    f"delay({t_lo:g} K) = {d_lo:g} ns > "
+                    f"delay({t_hi:g} K) = {d_hi:g} ns",
+                )
+            cold = model.unrepeated_delay(name, length, OperatingPoint.at(77.0))
+            warm = model.unrepeated_delay(name, length, OperatingPoint.at(300.0))
+            audit.check(
+                cold <= warm * (1.0 + _OPT_RTOL),
+                "cryo_never_slower",
+                f"{name}/{length:g}um",
+                f"77 K delay {cold:g} ns exceeds 300 K delay {warm:g} ns",
+            )
+
+
+def _audit_delay_vs_length(
+    audit: _Audit,
+    model: CryoWireModel,
+    temps: Sequence[float],
+    lengths: Sequence[float],
+) -> None:
+    """Unrepeated and repeated delays strictly increasing in length."""
+    for name in model.stack.layers:
+        for t in temps:
+            op = OperatingPoint.at(t)
+            for kind, fn in (
+                ("unrepeated", model.unrepeated_delay),
+                ("repeated", model.repeated_delay),
+            ):
+                delays = [fn(name, length, op) for length in lengths]
+                for (l_lo, d_lo), (l_hi, d_hi) in zip(
+                    zip(lengths, delays), zip(lengths[1:], delays[1:])
+                ):
+                    audit.check(
+                        d_lo < d_hi,
+                        f"{kind}_delay_monotone_L",
+                        f"{name}@{t:g}K",
+                        f"delay({l_lo:g} um) = {d_lo:g} ns >= "
+                        f"delay({l_hi:g} um) = {d_hi:g} ns",
+                    )
+
+
+def _audit_repeater_optimality(
+    audit: _Audit,
+    model: CryoWireModel,
+    temps: Sequence[float],
+    lengths: Sequence[float],
+) -> None:
+    """The optimizer's design beats its (n, size) neighbours."""
+    for name in model.stack.layers:
+        optimizer = model.optimizer(name)
+        for t in temps:
+            op = OperatingPoint.at(t)
+            for length in lengths:
+                design = optimizer.optimize(length, op)
+                site = f"{name}/{length:g}um@{t:g}K"
+                best = design.delay_ns
+                neighbours = []
+                if design.n_repeaters > 1:
+                    neighbours.append((design.n_repeaters - 1, design.repeater_size))
+                neighbours.append((design.n_repeaters + 1, design.repeater_size))
+                neighbours.append((design.n_repeaters, design.repeater_size * 1.1))
+                if design.repeater_size * 0.9 >= 1.0:
+                    neighbours.append((design.n_repeaters, design.repeater_size * 0.9))
+                for n, size in neighbours:
+                    rival = optimizer.delay_with(length, n, size, op)
+                    audit.check(
+                        best <= rival * (1.0 + _OPT_RTOL),
+                        "repeater_optimality",
+                        site,
+                        f"optimizer delay {best:g} ns beaten by "
+                        f"(n={n}, size={size:g}) at {rival:g} ns",
+                    )
+
+
+def run_audit(
+    temperatures: Optional[Sequence[float]] = None,
+    lengths_um: Optional[Sequence[float]] = None,
+    extra_points: Sequence[Tuple[float, Optional[float], Optional[float]]] = (),
+    strict: bool = False,
+) -> AuditReport:
+    """Sweep the invariant suite over an operating-point grid.
+
+    ``extra_points`` are raw ``(temperature_k, vdd_v, vth_v)`` triples
+    that are *validated only* — never fed to the models — so points the
+    models would refuse outright (4 K, vth above vdd) can still be
+    described with structured findings. Under ``strict=True`` the first
+    non-info finding raises
+    :class:`~repro.util.guards.ModelValidityError` instead.
+    """
+    temps = tuple(sorted(temperatures if temperatures else DEFAULT_TEMPERATURES))
+    lengths = tuple(sorted(lengths_um if lengths_um else DEFAULT_LENGTHS_UM))
+    if any(t_lo >= t_hi for t_lo, t_hi in zip(temps, temps[1:])):
+        raise ValueError("temperatures must be distinct")
+    if any(l_lo >= l_hi for l_lo, l_hi in zip(lengths, lengths[1:])):
+        raise ValueError("lengths must be distinct and positive")
+
+    audit = _Audit()
+    with use_guards(GuardContext(strict=strict)) as guards:
+        with use_context(TechContext()):
+            model = CryoWireModel()
+            for t in temps:
+                validate_operating_point(
+                    OperatingPoint.at(t), site="audit.grid", guards=guards
+                )
+            for point in extra_points:
+                validate_operating_point(
+                    tuple(point), site="audit.extra_point", guards=guards
+                )
+            audit.checks += len(temps) + len(extra_points)
+            _audit_resistance(audit, model, temps)
+            _audit_delay_vs_temperature(audit, model, temps, lengths)
+            _audit_delay_vs_length(audit, model, temps, lengths)
+            _audit_repeater_optimality(audit, model, temps, lengths)
+    return AuditReport(
+        violations=tuple(audit.violations),
+        warnings=guards.warnings,
+        checks=audit.checks,
+        temperatures=temps,
+        lengths_um=lengths,
+    )

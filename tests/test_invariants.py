@@ -1,0 +1,148 @@
+"""Physical-invariant suite: monotonicity laws and the audit sweep."""
+
+import pytest
+
+from repro.tech.metal import FREEPDK45_STACK
+from repro.tech.operating_point import OperatingPoint
+from repro.tech.wire import CryoWireModel
+from repro.util.guards import ModelValidityError
+from repro.validation.invariants import (
+    DEFAULT_LENGTHS_UM,
+    DEFAULT_TEMPERATURES,
+    AuditReport,
+    InvariantViolation,
+    run_audit,
+)
+
+LAYERS = sorted(FREEPDK45_STACK.layers)
+
+#: Reduced grid: keeps each audit call fast while still spanning the
+#: calibration anchors and a non-trivial length range.
+FAST_TEMPS = (77.0, 200.0, 300.0)
+FAST_LENGTHS = (500.0, 2000.0, 6000.0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CryoWireModel()
+
+
+class TestMonotonicityLaws:
+    """Direct parametrized checks of the laws the audit sweeps."""
+
+    @pytest.mark.parametrize("layer", LAYERS)
+    def test_resistance_monotone_in_temperature(self, model, layer):
+        metal = model.stack.layers[layer]
+        values = [
+            metal.resistance_per_um(OperatingPoint.at(t))
+            for t in DEFAULT_TEMPERATURES
+        ]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("layer", LAYERS)
+    def test_unrepeated_delay_monotone_in_temperature(self, model, layer):
+        delays = [
+            model.unrepeated_delay(layer, 2000.0, OperatingPoint.at(t))
+            for t in DEFAULT_TEMPERATURES
+        ]
+        assert delays == sorted(delays)
+
+    @pytest.mark.parametrize("layer", LAYERS)
+    def test_cryo_delay_never_exceeds_room_delay(self, model, layer):
+        for length in DEFAULT_LENGTHS_UM:
+            cold = model.unrepeated_delay(layer, length, OperatingPoint.at(77.0))
+            warm = model.unrepeated_delay(layer, length, OperatingPoint.at(300.0))
+            assert cold <= warm
+
+    @pytest.mark.parametrize("layer", LAYERS)
+    @pytest.mark.parametrize("temperature", [77.0, 300.0])
+    def test_delays_strictly_increase_with_length(self, model, layer, temperature):
+        op = OperatingPoint.at(temperature)
+        for fn in (model.unrepeated_delay, model.repeated_delay):
+            delays = [fn(layer, length, op) for length in DEFAULT_LENGTHS_UM]
+            assert all(lo < hi for lo, hi in zip(delays, delays[1:]))
+
+
+class TestRunAudit:
+    def test_clean_on_the_calibrated_domain(self):
+        report = run_audit(temperatures=FAST_TEMPS, lengths_um=FAST_LENGTHS)
+        assert report.ok
+        assert report.violations == ()
+        assert report.errors == ()
+        assert report.checks > 50
+        assert "PASS" in report.to_text()
+
+    def test_out_of_domain_point_fails_with_structured_errors(self):
+        report = run_audit(
+            temperatures=FAST_TEMPS,
+            lengths_um=FAST_LENGTHS,
+            extra_points=[(4.0, 0.4, 0.6)],
+        )
+        assert not report.ok
+        messages = [w.message for w in report.errors]
+        assert any("hard model range" in m for m in messages)
+        assert any("exceed Vth" in m for m in messages)
+        assert "FAIL" in report.to_text()
+
+    def test_strict_raises_instead_of_reporting(self):
+        with pytest.raises(ModelValidityError):
+            run_audit(
+                temperatures=FAST_TEMPS,
+                lengths_um=FAST_LENGTHS,
+                extra_points=[(4.0, None, None)],
+                strict=True,
+            )
+
+    def test_extrapolation_warnings_do_not_fail_the_audit(self):
+        # 350 K is inside the hard range but beyond the 300 K anchor:
+        # a warning-severity finding, which still audits as PASS.
+        report = run_audit(
+            temperatures=FAST_TEMPS,
+            lengths_um=FAST_LENGTHS,
+            extra_points=[(350.0, None, None)],
+        )
+        assert report.ok
+        assert any("extrapolates" in w.message for w in report.warnings)
+
+    def test_duplicate_grid_values_rejected(self):
+        with pytest.raises(ValueError):
+            run_audit(temperatures=(77.0, 77.0))
+        with pytest.raises(ValueError):
+            run_audit(lengths_um=(100.0, 100.0))
+
+    def test_report_rendering_includes_violations(self):
+        report = AuditReport(
+            violations=(InvariantViolation("law", "site", "broke"),),
+            warnings=(),
+            checks=1,
+            temperatures=(77.0,),
+            lengths_um=(100.0,),
+        )
+        text = report.to_text()
+        assert "[violation] law @ site: broke" in text
+        assert "FAIL" in text
+
+
+class TestDegradedPathEquivalence:
+    """The Elmore fallback must track the exact solver closely enough
+    that a degraded run is still quantitatively useful."""
+
+    @pytest.mark.parametrize("layer", LAYERS)
+    def test_elmore_within_bound_of_exact_t50(self, layer):
+        import numpy as np
+
+        from repro.circuits.rc_line import RCLadder
+
+        metal = FREEPDK45_STACK.layers[layer]
+        op = OperatingPoint.at(77.0)
+        length = 2000.0
+        n = 64
+        total_r = metal.resistance_per_um(op) * length
+        total_c = metal.capacitance_f_per_um * length * 1e-15
+        sections = [(total_r / n, total_c / n)] * n
+        exact = RCLadder(120.0, sections, load_c_f=2e-15).crossing_time(0.5)
+
+        broken = RCLadder(120.0, sections, load_c_f=2e-15)
+        broken._degrade("forced for equivalence test")
+        degraded = broken.crossing_time(0.5)
+        assert degraded == pytest.approx(exact, rel=0.15)
