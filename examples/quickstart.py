@@ -23,7 +23,7 @@ from repro.pipeline import (
     SKYLAKE_CONFIG,
 )
 from repro.system import CRYOSP_77K_CRYOBUS, BASELINE_300K_MESH, MulticoreSystem
-from repro.tech import CryoMOSFET, CryoWireModel, FREEPDK45_CARD
+from repro.tech import CryoMOSFET, CryoWireModel, FREEPDK45_CARD, OP_CRYO, OP_NOC_77K
 from repro.workloads import PARSEC_2_1
 
 
@@ -31,12 +31,12 @@ def step1_devices() -> None:
     print("=== 1. Devices at 77 K ===")
     wires = CryoWireModel()
     logic = CryoMOSFET(FREEPDK45_CARD)
-    print(f"transistors speed up        : {logic.delay_speedup(77):.2f}x")
+    print(f"transistors speed up        : {logic.delay_speedup(OP_CRYO):.2f}x")
     print(
         "forwarding wire (1686 um)   : "
-        f"{wires.unrepeated_speedup('semi_global', 1686, 77):.2f}x"
+        f"{wires.unrepeated_speedup('semi_global', 1686, OP_CRYO):.2f}x"
     )
-    print(f"global wire, repeated (6 mm): {wires.repeated_speedup('global', 6000, 77):.2f}x")
+    print(f"global wire, repeated (6 mm): {wires.repeated_speedup('global', 6000, OP_CRYO):.2f}x")
     print()
 
 
@@ -64,11 +64,10 @@ def step3_cryosp() -> None:
 def step4_cryobus() -> None:
     print("=== 4. NoC latency at 77 K ===")
     links = WireLinkModel()
-    hpc = links.hops_per_cycle(77)
-    mesh = AnalyticNocModel(topology=Mesh(64), temperature_k=77,
-                            vdd_v=0.55, vth_v=0.225)
-    bus = AnalyticNocModel(bus=SharedBusDesign(64), temperature_k=77)
-    cryo = AnalyticNocModel(bus=CryoBusDesign(64), temperature_k=77)
+    hpc = links.hops_per_cycle(OP_CRYO)
+    mesh = AnalyticNocModel(topology=Mesh(64), op=OP_NOC_77K)
+    bus = AnalyticNocModel(bus=SharedBusDesign(64), op=OP_CRYO)
+    cryo = AnalyticNocModel(bus=CryoBusDesign(64), op=OP_CRYO)
     print(f"77 K wire links cover {hpc} hops per 4 GHz cycle")
     for name, model in (("mesh", mesh), ("shared bus", bus), ("CryoBus", cryo)):
         print(f"{name:12s}: {model.one_way_ns(0.0):.2f} ns one-way at zero load")

@@ -65,3 +65,45 @@ def elmore_t50_ladder(
 ) -> float:
     """Estimated 50 % crossing time (seconds) via the Elmore moment."""
     return ELMORE_TO_T50 * elmore_delay_ladder(driver_r_ohm, sections, load_c_f)
+
+
+def elmore_delay_uniform(
+    driver_r_ohm,
+    total_r_ohm,
+    total_c_f,
+    n_sections: int,
+    load_c_f=0.0,
+):
+    """Closed-form Elmore delay (seconds) of a *uniform* ``n_sections`` ladder.
+
+    For the evenly discretised wire that
+    :func:`ladder_sections` builds (every section ``(R/n, C/n)``), the
+    ladder sum collapses to
+
+        C*R_drv + R*C*(n+1)/(2n) + C_load*(R_drv + R)
+
+    which is what the batch simulation path evaluates — all arguments
+    except ``n_sections`` may be NumPy arrays and broadcast together.
+    Equal to ``elmore_delay_ladder(R_drv, ladder_sections(R, C, n), C_load)``
+    up to summation-order rounding (~1e-15 relative).
+    """
+    if n_sections < 1:
+        raise ValueError("need at least one section")
+    return (
+        total_c_f * driver_r_ohm
+        + total_r_ohm * total_c_f * (n_sections + 1) / (2 * n_sections)
+        + load_c_f * (driver_r_ohm + total_r_ohm)
+    )
+
+
+def elmore_t50_uniform(
+    driver_r_ohm,
+    total_r_ohm,
+    total_c_f,
+    n_sections: int,
+    load_c_f=0.0,
+):
+    """50 % crossing estimate (seconds) of a uniform ladder, closed form."""
+    return ELMORE_TO_T50 * elmore_delay_uniform(
+        driver_r_ohm, total_r_ohm, total_c_f, n_sections, load_c_f
+    )

@@ -10,10 +10,19 @@ delay -- the same treatment the paper's Hspice decks use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
+import numpy as np
+
+from repro.circuits.elmore import elmore_t50_uniform
 from repro.circuits.rc_line import RCLadder
-from repro.tech.constants import T_ROOM
+from repro.tech.batch import (
+    OperatingPointBatch,
+    OperatingPointBatchLike,
+    as_operating_point_batch,
+    broadcast_lengths,
+    frozen,
+)
 from repro.tech.metal import FREEPDK45_STACK, WireTechnology
 from repro.tech.mosfet import CryoMOSFET, INDUSTRY_2Z_CARD, MOSFETCard
 from repro.tech.operating_point import OperatingPointLike, as_operating_point
@@ -22,8 +31,14 @@ from repro.tech.repeater import (
     DRIVER_CP_FF,
     DRIVER_R0_OHM,
     RepeaterDesign,
+    RepeaterDesignBatch,
 )
-from repro.util.guards import check_operating_point, validate_wire_geometry
+from repro.util.guards import (
+    check_operating_point,
+    check_operating_point_batch,
+    validate_wire_geometry,
+    validate_wire_geometry_batch,
+)
 
 #: Default spatial discretisation of a wire segment.
 DEFAULT_SECTIONS = 40
@@ -43,6 +58,41 @@ class WireSimResult:
     n_repeaters: int
     delay_ns: float
     degraded: bool = False
+
+
+@dataclass(frozen=True)
+class WireSimResultBatch:
+    """Results of a batch wire estimate (the plural of
+    :class:`WireSimResult`: same fields, array-valued columns).
+
+    Produced by :meth:`CircuitSimulator.simulate_batch`, which uses the
+    closed-form uniform-ladder Elmore estimate — an analytical path that
+    never degrades, so ``degraded`` is a column of ``False``. ``batch[i]``
+    yields the scalar :class:`WireSimResult` of point ``i``.
+    """
+
+    layer_name: str
+    length_um: np.ndarray
+    temperature_k: np.ndarray
+    n_repeaters: np.ndarray
+    delay_ns: np.ndarray
+    degraded: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.delay_ns.shape[0])
+
+    def __getitem__(self, index: int) -> WireSimResult:
+        return WireSimResult(
+            layer_name=self.layer_name,
+            length_um=float(self.length_um[index]),
+            temperature_k=float(self.temperature_k[index]),
+            n_repeaters=int(self.n_repeaters[index]),
+            delay_ns=float(self.delay_ns[index]),
+            degraded=bool(self.degraded[index]),
+        )
+
+    def __iter__(self) -> Iterator[WireSimResult]:
+        return (self[i] for i in range(len(self)))
 
 
 class CircuitSimulator:
@@ -79,7 +129,7 @@ class CircuitSimulator:
         self,
         layer_name: str,
         length_um: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         *,
         driver_r_ohm: float,
         load_c_f: float = 0.0,
@@ -118,7 +168,7 @@ class CircuitSimulator:
         length_um: float,
         n_repeaters: int,
         repeater_size: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> WireSimResult:
@@ -156,6 +206,87 @@ class CircuitSimulator:
             degraded=degraded,
         )
 
+    def estimate_repeated_wire(
+        self,
+        layer_name: str,
+        length_um: float,
+        n_repeaters: int,
+        repeater_size: float,
+        op: OperatingPointLike = None,
+    ) -> WireSimResult:
+        """Analytical sibling of :meth:`simulate_repeated_wire`.
+
+        Uses the closed-form uniform-ladder Elmore t50 instead of the
+        exact eigensolve — the fast estimate the batch path vectorizes.
+        Thin wrapper over the length-1 :meth:`simulate_batch`, so it is
+        bit-identical to ``simulate_batch(...)[i]``.
+        """
+        op = as_operating_point(op)
+        return self.simulate_batch(
+            layer_name,
+            [length_um],
+            n_repeaters,
+            repeater_size,
+            OperatingPointBatch.from_points([op]),
+        )[0]
+
+    def simulate_batch(
+        self,
+        layer_name: str,
+        lengths_um,
+        n_repeaters,
+        repeater_size,
+        op: OperatingPointBatchLike = None,
+    ) -> WireSimResultBatch:
+        """Estimate a batch of repeated wires in one vectorized pass.
+
+        The per-segment ladder is evaluated with the closed-form uniform
+        Elmore t50 (:func:`repro.circuits.elmore.elmore_t50_uniform`) at
+        the simulator's ``n_sections`` discretisation, plus the
+        repeaters' intrinsic switching delay — the analytical mirror of
+        :meth:`simulate_repeated_wire`'s exact solve, within the Elmore
+        estimate's accuracy. ``n_repeaters`` and ``repeater_size``
+        broadcast against the length grid (pass arrays for per-point
+        assignments, e.g. from a :class:`RepeaterDesignBatch`).
+        """
+        batch = check_operating_point_batch(
+            as_operating_point_batch(op), "circuit_sim.driven_wire"
+        )
+        lengths, batch = broadcast_lengths(lengths_um, batch)
+        if bool((lengths <= 0).any()):
+            raise ValueError("length must be positive")
+        validate_wire_geometry_batch(
+            lengths, layer_name=layer_name, site="circuit_sim.geometry"
+        )
+        n = np.broadcast_to(np.asarray(n_repeaters, dtype=float), lengths.shape)
+        size = np.broadcast_to(
+            np.asarray(repeater_size, dtype=float), lengths.shape
+        )
+        if bool((n < 1).any()):
+            raise ValueError("need at least the source driver")
+        layer = self.stack.layer(layer_name)
+        r_per_um = layer.resistance_per_um_batch(batch)
+        delay_factor = self.driver.gate_delay_factor_batch(batch)
+        r_unit = self.driver_r0_ohm * delay_factor
+        r_drv = r_unit / size
+        load_c = size * self.driver_cg_ff * 1e-15
+        seg_len = lengths / n
+        total_r = r_per_um * seg_len
+        total_c = layer.capacitance_f_per_um * seg_len * 1e-15
+        seg_t50_ns = (
+            elmore_t50_uniform(r_drv, total_r, total_c, self.n_sections, load_c)
+            * 1e9
+        )
+        intrinsic_ns = 0.69 * r_unit * self.driver_cp_ff * 1e-6  # ohm*fF -> ns
+        return WireSimResultBatch(
+            layer_name=layer_name,
+            length_um=frozen(np.array(lengths, dtype=float)),
+            temperature_k=batch.temperature_k,
+            n_repeaters=frozen(n.astype(int)),
+            delay_ns=frozen(n * (seg_t50_ns + intrinsic_ns)),
+            degraded=frozen(np.zeros(lengths.shape[0], dtype=bool)),
+        )
+
     def simulate_design(
         self,
         design: RepeaterDesign,
@@ -177,5 +308,27 @@ class CircuitSimulator:
             design.length_um,
             design.n_repeaters,
             design.repeater_size,
+            op,
+        )
+
+    def simulate_design_batch(
+        self,
+        designs: RepeaterDesignBatch,
+        op: OperatingPointBatchLike = None,
+    ) -> WireSimResultBatch:
+        """Re-estimate a whole :class:`RepeaterDesignBatch` at once.
+
+        The batch validation path: the vectorized optimiser proposes
+        designs, this prices them all with the closed-form Elmore
+        estimate. With no operating point given, each design's own
+        temperature is reused (matching :meth:`simulate_design`).
+        """
+        if op is None:
+            op = OperatingPointBatch.from_grid(designs.temperature_k)
+        return self.simulate_batch(
+            designs.layer_name,
+            designs.length_um,
+            designs.n_repeaters,
+            designs.repeater_size,
             op,
         )

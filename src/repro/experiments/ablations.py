@@ -41,6 +41,7 @@ from repro.system.config import (
 )
 from repro.system.multicore import MulticoreSystem
 from repro.tech.metal import MetalLayer, WireTechnology
+from repro.tech.operating_point import OP_CRYO
 from repro.tech.resistivity import CryoResistivityModel
 from repro.tech.wire import CryoWireModel
 from repro.workloads.profiles import PARSEC_2_1
@@ -308,8 +309,8 @@ def run_technology_outlook() -> ExperimentResult:
         result.add_row(
             name,
             round(140.0 * scale, 1),
-            wires.unrepeated_speedup("semi_global", 1686.0, 77.0),
-            wires.repeated_speedup("global", 6000.0, 77.0),
+            wires.unrepeated_speedup("semi_global", 1686.0, OP_CRYO),
+            wires.repeated_speedup("global", 6000.0, OP_CRYO),
         )
     # The mitigation the paper proposes: keep the few critical wires at
     # the old (thick) geometry even on the new node.
@@ -317,8 +318,8 @@ def run_technology_outlook() -> ExperimentResult:
     result.add_row(
         "14nm, critical wires drawn thick",
         140.0,
-        thick.unrepeated_speedup("semi_global", 1686.0, 77.0),
-        thick.repeated_speedup("global", 6000.0, 77.0),
+        thick.unrepeated_speedup("semi_global", 1686.0, OP_CRYO),
+        thick.repeated_speedup("global", 6000.0, OP_CRYO),
     )
     result.notes = (
         "Thinner wires freeze out less resistivity (larger residual), so "

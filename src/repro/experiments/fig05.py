@@ -12,7 +12,7 @@ from typing import Sequence
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import experiment
-from repro.tech.constants import T_LN2
+from repro.tech.operating_point import OP_CRYO
 from repro.tech.wire import CryoWireModel
 
 UNREPEATED_LENGTHS_UM = (100.0, 250.0, 500.0, 1000.0, 2000.0, 3000.0, 5000.0)
@@ -38,12 +38,12 @@ def run(
     wires = CryoWireModel()
     for layer in ("local", "semi_global"):
         for length, speedup in wires.speedup_sweep(
-            layer, unrepeated_lengths, T_LN2, repeated=False
+            layer, unrepeated_lengths, OP_CRYO, repeated=False
         ).items():
             result.add_row(f"{layer}_unrepeated", length, speedup)
     for layer in ("semi_global", "global"):
         for length, speedup in wires.speedup_sweep(
-            layer, repeated_lengths, T_LN2, repeated=True
+            layer, repeated_lengths, OP_CRYO, repeated=True
         ).items():
             result.add_row(f"{layer}_repeated", length, speedup)
     result.notes = (

@@ -24,6 +24,7 @@ from repro.pipeline.config import OP_NOC_300K, OP_NOC_77K
 from repro.system.config import CHP_77K_CRYOBUS
 from repro.system.multicore import MulticoreSystem
 from repro.tech.constants import T_LN2, T_ROOM
+from repro.tech.operating_point import OperatingPoint
 from repro.workloads.profiles import ALL_SUITES
 
 DEFAULT_RATES = (0.0005, 0.001, 0.0015, 0.002, 0.0025, 0.003, 0.004, 0.005)
@@ -50,7 +51,7 @@ def run(
         ("bus_300K", T_ROOM, OP_NOC_300K),
         ("bus_77K", T_LN2, OP_NOC_77K),
     ):
-        hpc = links.hops_per_cycle(temperature)
+        hpc = links.hops_per_cycle(OperatingPoint.at(temperature))
         # Saturation-aware sweep: rates past the knee are synthesised
         # rather than simulated (their latency is a drain artefact).
         points = load_latency_curve(

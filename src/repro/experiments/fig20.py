@@ -15,6 +15,7 @@ from repro.noc.bus import CryoBusDesign, HTreeBus300K, SharedBusDesign
 from repro.noc.link import WireLinkModel
 from repro.pipeline.config import OP_NOC_300K, OP_NOC_77K
 from repro.tech.constants import T_LN2, T_ROOM
+from repro.tech.operating_point import OperatingPoint
 
 #: Broadcast cycles that cover every Fig. 18 workload without contention.
 TARGET_BROADCAST_CYCLES = 1
@@ -51,7 +52,7 @@ def run() -> ExperimentResult:
         ("cryobus", CryoBusDesign(64), T_LN2, OP_NOC_77K),
     )
     for name, design, temperature, op in cases:
-        hpc = links.hops_per_cycle(temperature)
+        hpc = links.hops_per_cycle(OperatingPoint.at(temperature))
         broadcast = design.broadcast_cycles(hpc)
         result.add_row(
             name,

@@ -25,7 +25,7 @@ from repro.noc.measure import load_latency_curve
 from repro.noc.simulator import NocSimulator
 from repro.noc.topology import CMesh, FlattenedButterfly, Mesh
 from repro.noc.traffic import make_pattern
-from repro.tech.constants import T_LN2
+from repro.tech.operating_point import OP_CRYO
 
 DEFAULT_RATES = (0.001, 0.002, 0.004, 0.006, 0.008, 0.012)
 
@@ -45,7 +45,7 @@ def run(
         paper_reference={"cryobus_zero_load_cycles": 4},
     )
     links = WireLinkModel()
-    hpc = links.hops_per_cycle(T_LN2)
+    hpc = links.hops_per_cycle(OP_CRYO)
     sim = NocSimulator(n_cycles=n_cycles)
     pattern = make_pattern(pattern_name, 64)
 

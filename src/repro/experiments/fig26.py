@@ -19,7 +19,7 @@ from repro.noc.link import WireLinkModel
 from repro.noc.router import RouterModel
 from repro.noc.topology import CMesh, FlattenedButterfly, Mesh
 from repro.pipeline.config import OP_NOC_77K
-from repro.tech.constants import T_LN2
+from repro.tech.operating_point import OP_CRYO
 
 DEFAULT_RATES = (0.0005, 0.001, 0.002, 0.003, 0.005, 0.008)
 
@@ -41,7 +41,7 @@ def run(rates: Sequence[float] = DEFAULT_RATES) -> ExperimentResult:
     )
     op = OP_NOC_77K
     links = WireLinkModel()
-    hpc = links.hops_per_cycle(T_LN2)
+    hpc = links.hops_per_cycle(OP_CRYO)
     ref_clock = 4.0
 
     for ways in (1, 2):

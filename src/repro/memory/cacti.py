@@ -24,9 +24,12 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.tech.constants import T_ROOM
 from repro.tech.mosfet import FREEPDK45_CARD, MOSFETCard, cryo_mosfet
-from repro.tech.operating_point import OperatingPointLike, as_operating_point
+from repro.tech.operating_point import (
+    OP_ROOM,
+    OperatingPointLike,
+    as_operating_point,
+)
 from repro.tech.wire import CryoWireModel
 
 #: Silicon area per kilobyte of SRAM at the modelled node (mm^2/KB).
@@ -93,7 +96,7 @@ class CactiModel:
         self,
         size_kb: int,
         n_banks: int,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> CacheTiming:
@@ -138,7 +141,7 @@ class CactiModel:
     def optimize(
         self,
         size_kb: int,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
         max_banks: int = 64,
@@ -161,7 +164,7 @@ class CactiModel:
         Both points re-optimise banking, mirroring the paper's
         temperature-optimal design methodology.
         """
-        warm = self.optimize(size_kb, T_ROOM).access_ns
+        warm = self.optimize(size_kb, OP_ROOM).access_ns
         cold = self.optimize(size_kb, as_operating_point(op)).access_ns
         return warm / cold
 

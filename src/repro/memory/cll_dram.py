@@ -22,7 +22,11 @@ from dataclasses import dataclass
 
 from repro.tech.constants import T_LN2, T_ROOM, check_temperature
 from repro.tech.mosfet import FREEPDK45_CARD, MOSFETCard, cryo_mosfet
-from repro.tech.operating_point import OperatingPointLike, as_operating_point
+from repro.tech.operating_point import (
+    OP_ROOM,
+    OperatingPointLike,
+    as_operating_point,
+)
 
 #: 300 K component split of a 60.32 ns random access (ns).
 PERIPHERY_NS_300K = 4.0
@@ -62,7 +66,7 @@ class CllDramModel:
         speedup = 1.0 + (speedup_77k - 1.0) * fraction
         return 1.0 / speedup
 
-    def timing(self, op: OperatingPointLike = T_ROOM) -> DramTiming:
+    def timing(self, op: OperatingPointLike = None) -> DramTiming:
         op = as_operating_point(op)
         check_temperature(op.temperature_k)
         periphery = PERIPHERY_NS_300K * self.logic.gate_delay_factor(op)
@@ -81,4 +85,4 @@ class CllDramModel:
 
     def speedup(self, op: OperatingPointLike) -> float:
         """Random-access speed-up at the operating point vs 300 K."""
-        return self.timing(T_ROOM).access_ns / self.timing(as_operating_point(op)).access_ns
+        return self.timing(OP_ROOM).access_ns / self.timing(as_operating_point(op)).access_ns

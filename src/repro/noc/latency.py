@@ -164,7 +164,7 @@ class AnalyticNocModel:
         # Link repeaters sit in their own supply domain; the NoC logic
         # voltage scaling applies to routers, not to the wire links.
         self.hops_per_cycle = self.links.hops_per_cycle(
-            as_operating_point(op.temperature_k), reference_clock_ghz
+            OperatingPoint.at(op.temperature_k), reference_clock_ghz
         )
         if topology is not None:
             self.router = router if router is not None else RouterModel()

@@ -23,10 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.tech.constants import T_ROOM
 from repro.tech.metal import FREEPDK45_STACK, WireTechnology
 from repro.tech.mosfet import MOSFETCard
-from repro.tech.operating_point import OperatingPointLike, as_operating_point
+from repro.tech.operating_point import (
+    OP_ROOM,
+    OperatingPointLike,
+    as_operating_point,
+)
 from repro.tech.repeater import RepeaterOptimizer
 
 #: CACTI-style link buffers: industry-class transistors sized for
@@ -75,7 +78,7 @@ class WireLinkModel:
     def timing(
         self,
         length_mm: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> LinkTiming:
@@ -93,7 +96,7 @@ class WireLinkModel:
 
     def hop_delay_ns(
         self,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
@@ -112,6 +115,6 @@ class WireLinkModel:
 
     def speedup(self, length_mm: float, op: OperatingPointLike) -> float:
         """Link speed-up versus 300 K (the Fig. 10 validation quantity)."""
-        base = self.timing(length_mm, T_ROOM).delay_ns
+        base = self.timing(length_mm, OP_ROOM).delay_ns
         cold = self.timing(length_mm, as_operating_point(op)).delay_ns
         return base / cold

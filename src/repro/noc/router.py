@@ -17,6 +17,7 @@ from repro.tech.constants import T_ROOM
 from repro.tech.context import get_context
 from repro.tech.mosfet import FREEPDK45_CARD, MOSFETCard, cryo_mosfet
 from repro.tech.operating_point import (
+    OP_ROOM,
     OperatingPoint,
     OperatingPointLike,
     as_operating_point,
@@ -62,7 +63,7 @@ class RouterModel:
 
     def frequency_ghz(
         self,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
@@ -85,11 +86,11 @@ class RouterModel:
 
     def speedup(self, op: OperatingPointLike) -> float:
         """Frequency gain versus 300 K at nominal voltage (~9 % at 77 K)."""
-        return self.frequency_ghz(as_operating_point(op)) / self.frequency_ghz(T_ROOM)
+        return self.frequency_ghz(as_operating_point(op)) / self.frequency_ghz(OP_ROOM)
 
     def traversal_ns(
         self,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:

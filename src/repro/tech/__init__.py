@@ -30,19 +30,30 @@ from repro.tech.context import (
     set_context,
     use_context,
 )
+from repro.tech.batch import (
+    OperatingPointBatch,
+    OperatingPointBatchLike,
+    as_operating_point_batch,
+)
 from repro.tech.metal import MetalLayer, WireTechnology, FREEPDK45_STACK
 from repro.tech.operating_point import (
     OP_300K_NOMINAL,
     OP_77K_NOMINAL,
     OP_CHP,
+    OP_CRYO,
     OP_CRYOSP,
     OP_NOC_300K,
     OP_NOC_77K,
+    OP_ROOM,
     OperatingPoint,
     OperatingPointLike,
     as_operating_point,
 )
-from repro.tech.resistivity import bloch_gruneisen_ratio, CryoResistivityModel
+from repro.tech.resistivity import (
+    bloch_gruneisen_ratio,
+    bloch_gruneisen_ratio_batch,
+    CryoResistivityModel,
+)
 from repro.tech.mosfet import (
     CryoMOSFET,
     MOSFETCard,
@@ -50,8 +61,8 @@ from repro.tech.mosfet import (
     INDUSTRY_2Z_CARD,
     cryo_mosfet,
 )
-from repro.tech.repeater import RepeaterDesign, RepeaterOptimizer
-from repro.tech.wire import CryoWireModel, WireDelayBreakdown
+from repro.tech.repeater import RepeaterDesign, RepeaterDesignBatch, RepeaterOptimizer
+from repro.tech.wire import CryoWireModel, WireDelayBreakdown, WireDelayBreakdownBatch
 from repro.tech.scaling import ITRSNode, ITRS_ROADMAP, project_speedup
 
 __all__ = [
@@ -62,7 +73,12 @@ __all__ = [
     "DEBYE_TEMPERATURE_CU",
     "OperatingPoint",
     "OperatingPointLike",
+    "OperatingPointBatch",
+    "OperatingPointBatchLike",
     "as_operating_point",
+    "as_operating_point_batch",
+    "OP_ROOM",
+    "OP_CRYO",
     "OP_300K_NOMINAL",
     "OP_77K_NOMINAL",
     "OP_CHP",
@@ -80,15 +96,18 @@ __all__ = [
     "WireTechnology",
     "FREEPDK45_STACK",
     "bloch_gruneisen_ratio",
+    "bloch_gruneisen_ratio_batch",
     "CryoResistivityModel",
     "CryoMOSFET",
     "MOSFETCard",
     "FREEPDK45_CARD",
     "INDUSTRY_2Z_CARD",
     "RepeaterDesign",
+    "RepeaterDesignBatch",
     "RepeaterOptimizer",
     "CryoWireModel",
     "WireDelayBreakdown",
+    "WireDelayBreakdownBatch",
     "ITRSNode",
     "ITRS_ROADMAP",
     "project_speedup",

@@ -43,3 +43,23 @@ def check_temperature(temperature_k: float) -> float:
             f"[{T_MODEL_MIN}, {T_MODEL_MAX}] K"
         )
     return float(temperature_k)
+
+
+def check_temperature_batch(temperature_k) -> "np.ndarray":
+    """Vectorized :func:`check_temperature` over a temperature column.
+
+    Raises on the first out-of-range (or NaN) element, mirroring the
+    scalar check, and returns the validated ``float64`` array.
+    """
+    import numpy as np
+
+    t = np.asarray(temperature_k, dtype=float)
+    ok = (t >= T_MODEL_MIN) & (t <= T_MODEL_MAX)
+    if not bool(np.all(ok)):
+        i = int(np.argmax(~ok))
+        raise ValueError(
+            f"temperature {t[i]} K outside calibrated range "
+            f"[{T_MODEL_MIN}, {T_MODEL_MAX}] K "
+            f"(point {i} of {t.size} in the batch)"
+        )
+    return t

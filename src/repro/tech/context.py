@@ -98,6 +98,23 @@ class TechContext:
             self._hits[family] += 1
         return value
 
+    def memo_array(self, key: Tuple, compute: Callable[[], Any]) -> Any:
+        """:meth:`memo` for NumPy-array results (batch-keyed memoization).
+
+        The computed array is frozen (``writeable=False``) before it is
+        stored, so every warm lookup hands back the *same* read-only
+        array — batch kernels key these on
+        :attr:`~repro.tech.batch.OperatingPointBatch.key`, making a
+        repeated grid a single dictionary hit instead of N scalar hits.
+        """
+
+        def compute_frozen() -> Any:
+            value = compute()
+            value.flags.writeable = False
+            return value
+
+        return self.memo(key, compute_frozen)
+
     # ------------------------------------------------------------------
     @property
     def hits(self) -> int:

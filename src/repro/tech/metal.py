@@ -18,10 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
+from repro.tech.batch import (
+    OperatingPointBatchLike,
+    array_digest,
+    as_operating_point_batch,
+)
 from repro.tech.context import get_context
 from repro.tech.operating_point import OperatingPointLike, as_operating_point
 from repro.tech.resistivity import CryoResistivityModel
-from repro.util.guards import check_operating_point
+from repro.util.guards import check_operating_point, check_operating_point_batch
 
 
 @dataclass(frozen=True)
@@ -65,8 +72,30 @@ class MetalLayer:
         ).temperature_k
         return get_context().memo(
             ("wire_r", self, temperature_k),
-            lambda: self.resistivity.resistivity(temperature_k)
-            / self.cross_section_um2,
+            lambda: float(self._resistance_per_um_raw([temperature_k])[0]),
+        )
+
+    def resistance_per_um_batch(
+        self, op: OperatingPointBatchLike = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`resistance_per_um` over an operating-point batch.
+
+        Memoized per distinct temperature column (wires ignore the
+        voltage columns, so voltage-only sweeps share one cache entry).
+        """
+        batch = check_operating_point_batch(
+            as_operating_point_batch(op), "metal.wire_resistance"
+        )
+        t = batch.temperature_k
+        return get_context().memo_array(
+            ("wire_r_batch", self, t.shape[0], array_digest(t)),
+            lambda: self._resistance_per_um_raw(t),
+        )
+
+    def _resistance_per_um_raw(self, temperature_k) -> np.ndarray:
+        return (
+            self.resistivity.resistivity_batch(temperature_k)
+            / self.cross_section_um2
         )
 
     def rc_per_um2(self, op: OperatingPointLike = None) -> float:
@@ -77,6 +106,10 @@ class MetalLayer:
         """
         return self.resistance_per_um(op) * self.capacitance_f_per_um
 
+    def rc_per_um2_batch(self, op: OperatingPointBatchLike = None) -> np.ndarray:
+        """Vectorized :meth:`rc_per_um2` over an operating-point batch."""
+        return self.resistance_per_um_batch(op) * self.capacitance_f_per_um
+
     def speedup_at(self, op: OperatingPointLike) -> float:
         """Asymptotic RC-wire speed-up at the operating point vs 300 K.
 
@@ -86,6 +119,11 @@ class MetalLayer:
         """
         temperature_k = as_operating_point(op).temperature_k
         return 1.0 / self.resistivity.ratio_vs_room(temperature_k)
+
+    def speedup_at_batch(self, op: OperatingPointBatchLike) -> np.ndarray:
+        """Vectorized :meth:`speedup_at` over an operating-point batch."""
+        batch = as_operating_point_batch(op)
+        return 1.0 / self.resistivity.ratio_vs_room_batch(batch.temperature_k)
 
 
 #: ohm * femtofarad expressed in nanoseconds.

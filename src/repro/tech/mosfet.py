@@ -44,9 +44,21 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.tech.constants import BOLTZMANN_EV, T_LN2, T_ROOM, check_temperature
+import numpy as np
+
+from repro.tech.batch import (
+    OperatingPointBatch,
+    OperatingPointBatchLike,
+    as_operating_point_batch,
+)
+from repro.tech.constants import (
+    BOLTZMANN_EV,
+    T_LN2,
+    T_ROOM,
+    check_temperature_batch,
+)
 from repro.tech.context import get_context
-from repro.util.guards import check_operating_point
+from repro.util.guards import check_operating_point, check_operating_point_batch
 from repro.tech.operating_point import (
     OperatingPoint,
     OperatingPointLike,
@@ -125,8 +137,9 @@ class CryoMOSFET:
             * ov**card.overdrive_exponent_300
             / ov_cryo**card.overdrive_exponent_77
         )
-        self._i_on_nominal_300 = self._on_current_raw(card.nominal_op)
-        self._leak_nominal_300 = self._leakage_raw(card.nominal_op)
+        nominal = OperatingPointBatch.from_points([card.nominal_op])
+        self._i_on_nominal_300 = float(self._on_current_raw_batch(nominal)[0])
+        self._leak_nominal_300 = float(self._leakage_raw_batch(nominal)[0])
 
     # ------------------------------------------------------------------
     # voltage resolution
@@ -134,36 +147,53 @@ class CryoMOSFET:
     def _vdd(self, op: OperatingPoint) -> float:
         return self.card.vdd_nominal_v if op.vdd_v is None else op.vdd_v
 
+    def _vdd_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        """The rail column with NaN ("card nominal") resolved."""
+        return np.where(np.isnan(batch.vdd_v), self.card.vdd_nominal_v, batch.vdd_v)
+
     # ------------------------------------------------------------------
-    # drive
+    # drive (the vectorized kernels; scalar methods are length-1 wrappers)
     # ------------------------------------------------------------------
     def effective_vth(
         self, op: OperatingPointLike = None, vth_v: Optional[float] = None
     ) -> float:
         """Threshold voltage at the operating point (V_th rises when cooled)."""
         op = as_operating_point(op, vth_v=vth_v)
-        check_temperature(op.temperature_k)
-        base = self.card.vth_nominal_v if op.vth_v is None else op.vth_v
-        return base + _lerp_to_cryo(0.0, self.card.vth_shift_77, op.temperature_k)
+        return float(
+            self._effective_vth_batch(OperatingPointBatch.from_points([op]))[0]
+        )
 
-    def _overdrive(self, op: OperatingPoint) -> float:
-        overdrive = self._vdd(op) - self.effective_vth(op)
-        if overdrive <= MIN_OVERDRIVE_V:
+    def effective_vth_batch(self, op: OperatingPointBatchLike = None) -> np.ndarray:
+        """Vectorized :meth:`effective_vth` over an operating-point batch."""
+        return self._effective_vth_batch(as_operating_point_batch(op))
+
+    def _effective_vth_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        t = check_temperature_batch(batch.temperature_k)
+        base = np.where(np.isnan(batch.vth_v), self.card.vth_nominal_v, batch.vth_v)
+        return base + _lerp_to_cryo(0.0, self.card.vth_shift_77, t)
+
+    def _overdrive_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        vdd = self._vdd_batch(batch)
+        overdrive = vdd - self._effective_vth_batch(batch)
+        bad = overdrive <= MIN_OVERDRIVE_V
+        if bool(bad.any()):
+            i = int(np.argmax(bad))
             raise ValueError(
-                f"{self.card.name}: overdrive {overdrive:.3f} V at "
-                f"(T={op.temperature_k} K, Vdd={self._vdd(op)} V) is below the "
-                f"{MIN_OVERDRIVE_V} V validity floor"
+                f"{self.card.name}: overdrive {overdrive[i]:.3f} V at "
+                f"(T={batch.temperature_k[i]:g} K, Vdd={vdd[i]:g} V) is below "
+                f"the {MIN_OVERDRIVE_V} V validity floor "
+                f"(point {i} of {len(batch)} in the batch)"
             )
         return overdrive
 
-    def _on_current_raw(self, op: OperatingPoint) -> float:
-        overdrive = self._overdrive(op)
+    def _on_current_raw_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        overdrive = self._overdrive_batch(batch)
         beta = _lerp_to_cryo(
             self.card.overdrive_exponent_300,
             self.card.overdrive_exponent_77,
-            op.temperature_k,
+            batch.temperature_k,
         )
-        gain = _lerp_to_cryo(1.0, self._drive_gain_77, op.temperature_k)
+        gain = _lerp_to_cryo(1.0, self._drive_gain_77, batch.temperature_k)
         return gain * overdrive**beta
 
     def on_current(
@@ -174,7 +204,12 @@ class CryoMOSFET:
     ) -> float:
         """Drive current relative to the card's (300 K, nominal V) point."""
         op = as_operating_point(op, vdd_v, vth_v)
-        return self._on_current_raw(op) / self._i_on_nominal_300
+        return float(self.on_current_batch(OperatingPointBatch.from_points([op]))[0])
+
+    def on_current_batch(self, op: OperatingPointBatchLike = None) -> np.ndarray:
+        """Vectorized :meth:`on_current` over an operating-point batch."""
+        batch = as_operating_point_batch(op)
+        return self._on_current_raw_batch(batch) / self._i_on_nominal_300
 
     def gate_delay_factor(
         self,
@@ -185,17 +220,37 @@ class CryoMOSFET:
         """Gate delay relative to (300 K, nominal V); < 1 means faster.
 
         Gate delay is C*V_dd/I_on; capacitance is treated as
-        temperature-independent.
+        temperature-independent. Thin wrapper over the length-1 batch
+        kernel (there is exactly one implementation of the formula);
+        memoized per ``(card, op.key)`` as before.
         """
         op = check_operating_point(
             as_operating_point(op, vdd_v, vth_v), "mosfet.gate_delay"
         )
         return get_context().memo(
-            ("gate_delay", self.card, op.key), lambda: self._gate_delay_factor(op)
+            ("gate_delay", self.card, op.key),
+            lambda: float(
+                self._gate_delay_factor_batch(OperatingPointBatch.from_points([op]))[0]
+            ),
         )
 
-    def _gate_delay_factor(self, op: OperatingPoint) -> float:
-        return (self._vdd(op) / self.card.vdd_nominal_v) / self.on_current(op)
+    def gate_delay_factor_batch(
+        self, op: OperatingPointBatchLike = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`gate_delay_factor`; memoized per batch key."""
+        batch = check_operating_point_batch(
+            as_operating_point_batch(op), "mosfet.gate_delay"
+        )
+        return get_context().memo_array(
+            ("gate_delay_batch", self.card, batch.key),
+            lambda: self._gate_delay_factor_batch(batch),
+        )
+
+    def _gate_delay_factor_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        relative_vdd = self._vdd_batch(batch) / self.card.vdd_nominal_v
+        return relative_vdd / (
+            self._on_current_raw_batch(batch) / self._i_on_nominal_300
+        )
 
     def delay_speedup(
         self,
@@ -206,21 +261,36 @@ class CryoMOSFET:
         """Transistor speed-up versus (300 K, nominal V); > 1 means faster."""
         return 1.0 / self.gate_delay_factor(op, vdd_v, vth_v)
 
+    def delay_speedup_batch(self, op: OperatingPointBatchLike = None) -> np.ndarray:
+        """Vectorized :meth:`delay_speedup` over an operating-point batch."""
+        return 1.0 / self.gate_delay_factor_batch(op)
+
     # ------------------------------------------------------------------
     # leakage
     # ------------------------------------------------------------------
     def subthreshold_swing(self, op: OperatingPointLike = None) -> float:
         """Subthreshold swing in volts/decade; proportional to kT/q."""
         op = as_operating_point(op)
-        check_temperature(op.temperature_k)
-        return self.card.ideality * math.log(10.0) * BOLTZMANN_EV * op.temperature_k
+        return float(
+            self._subthreshold_swing_batch(OperatingPointBatch.from_points([op]))[0]
+        )
 
-    def _leakage_raw(self, op: OperatingPoint) -> float:
-        vth = self.effective_vth(op)
-        swing = self.subthreshold_swing(op)
+    def subthreshold_swing_batch(
+        self, op: OperatingPointBatchLike = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`subthreshold_swing` over a batch."""
+        return self._subthreshold_swing_batch(as_operating_point_batch(op))
+
+    def _subthreshold_swing_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        t = check_temperature_batch(batch.temperature_k)
+        return self.card.ideality * math.log(10.0) * BOLTZMANN_EV * t
+
+    def _leakage_raw_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        vth = self._effective_vth_batch(batch)
+        swing = self._subthreshold_swing_batch(batch)
         # I_leak ~ Vdd * 10^(-Vth / S(T)); the Vdd factor approximates DIBL
         # plus the linear dependence of leakage power on rail voltage.
-        return self._vdd(op) * 10.0 ** (-vth / swing)
+        return self._vdd_batch(batch) * 10.0 ** (-vth / swing)
 
     def leakage_factor(
         self,
@@ -241,7 +311,20 @@ class CryoMOSFET:
         )
         return get_context().memo(
             ("leakage", self.card, op.key),
-            lambda: self._leakage_raw(op) / self._leak_nominal_300,
+            lambda: float(
+                self._leakage_raw_batch(OperatingPointBatch.from_points([op]))[0]
+            )
+            / self._leak_nominal_300,
+        )
+
+    def leakage_factor_batch(self, op: OperatingPointBatchLike = None) -> np.ndarray:
+        """Vectorized :meth:`leakage_factor`; memoized per batch key."""
+        batch = check_operating_point_batch(
+            as_operating_point_batch(op), "mosfet.leakage"
+        )
+        return get_context().memo_array(
+            ("leakage_batch", self.card, batch.key),
+            lambda: self._leakage_raw_batch(batch) / self._leak_nominal_300,
         )
 
 

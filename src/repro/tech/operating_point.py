@@ -29,6 +29,7 @@ entries.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple, Union
 
@@ -86,6 +87,32 @@ class OperatingPoint:
 #: legacy scalar form), or ``None`` meaning 300 K nominal.
 OperatingPointLike = Union[OperatingPoint, float, int, None]
 
+#: Whether the one-shot legacy-form deprecation notice has fired yet.
+_legacy_warned = False
+
+
+def _warn_legacy_scalar_form() -> None:
+    """Emit the (single, per-process) legacy-call deprecation notice."""
+    global _legacy_warned
+    if _legacy_warned:
+        return
+    _legacy_warned = True
+    warnings.warn(
+        "the legacy scalar operating-point call form (a bare temperature "
+        "and/or vdd_v/vth_v scalars) is deprecated; construct an "
+        "OperatingPoint explicitly — OperatingPoint.at(T, vdd, vth), a "
+        "named constant such as OP_CRYOSP, or OperatingPointBatch for "
+        "dense sweeps",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _reset_legacy_warning() -> None:
+    """Re-arm the one-shot deprecation notice (test hook)."""
+    global _legacy_warned
+    _legacy_warned = False
+
 
 def as_operating_point(
     op: OperatingPointLike = None,
@@ -99,9 +126,11 @@ def as_operating_point(
     This is the deprecation shim for the pre-refactor signatures: a
     bare temperature (optionally followed by ``vdd_v``/``vth_v``
     scalars) still works everywhere, but is funnelled through this one
-    function. New code should construct an :class:`OperatingPoint` --
-    typically one of the named constants below, or
-    :meth:`OperatingPoint.at` inside a sweep loop.
+    function and now draws a single per-process ``DeprecationWarning``.
+    New code should construct an :class:`OperatingPoint` -- typically
+    one of the named constants below, or :meth:`OperatingPoint.at`
+    inside a sweep loop. (``None`` -- "the 300 K default" -- is not a
+    legacy form and stays silent; so does passing a ready-made point.)
     """
     if isinstance(op, OperatingPoint):
         if vdd_v is not None or vth_v is not None:
@@ -110,6 +139,8 @@ def as_operating_point(
                 "vdd_v/vth_v scalars alongside one"
             )
         return op
+    if op is not None or vdd_v is not None or vth_v is not None:
+        _warn_legacy_scalar_form()
     temperature = default_temperature_k if op is None else float(op)
     return OperatingPoint.at(temperature, vdd_v, vth_v)
 
@@ -117,6 +148,15 @@ def as_operating_point(
 # ----------------------------------------------------------------------
 # Named operating points of Table 3 / Table 4
 # ----------------------------------------------------------------------
+
+#: Bare 300 K at card-nominal voltages -- the default evaluation point
+#: of every entry point, and what internal code uses instead of passing
+#: the deprecated bare ``T_ROOM`` scalar through the shim.
+OP_ROOM = OperatingPoint("300K", T_ROOM)
+
+#: Bare 77 K at card-nominal voltages -- the cryogenic counterpart of
+#: :data:`OP_ROOM` for temperature-only sweeps.
+OP_CRYO = OperatingPoint("77K", T_LN2)
 
 OP_300K_NOMINAL = OperatingPoint("300K nominal", T_ROOM, vdd_v=1.25, vth_v=0.47)
 OP_77K_NOMINAL = OperatingPoint("77K nominal", T_LN2, vdd_v=1.25, vth_v=0.47)

@@ -29,16 +29,30 @@ paper quotes for its 4 GHz mesh (4 hops/cycle, Section 5.1).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
-from repro.tech.constants import T_ROOM
+import numpy as np
+
+from repro.tech.batch import (
+    OperatingPointBatch,
+    OperatingPointBatchLike,
+    array_digest,
+    as_operating_point_batch,
+    broadcast_lengths,
+    frozen,
+)
 from repro.tech.context import get_context
-from repro.util.guards import check_operating_point, validate_wire_geometry
+from repro.util.guards import (
+    check_operating_point,
+    check_operating_point_batch,
+    validate_wire_geometry,
+    validate_wire_geometry_batch,
+)
 from repro.tech.metal import OHM_FF_TO_NS, MetalLayer
 from repro.tech.mosfet import CryoMOSFET, MOSFETCard, INDUSTRY_2Z_CARD
 from repro.tech.operating_point import (
+    OP_ROOM,
     OperatingPoint,
     OperatingPointLike,
     as_operating_point,
@@ -72,6 +86,48 @@ class RepeaterDesign:
 
     @property
     def delay_per_mm_ns(self) -> float:
+        return self.delay_ns / (self.length_um / 1000.0)
+
+
+@dataclass(frozen=True)
+class RepeaterDesignBatch:
+    """Results of optimising a batch of wires (the plural of
+    :class:`RepeaterDesign`: same fields, array-valued columns).
+
+    ``batch[i]`` yields the scalar :class:`RepeaterDesign` of point
+    ``i`` — see the "scalar vs batch surface" convention in
+    ``docs/ARCHITECTURE.md``.
+    """
+
+    layer_name: str
+    length_um: np.ndarray
+    temperature_k: np.ndarray
+    n_repeaters: np.ndarray
+    repeater_size: np.ndarray
+    delay_ns: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.delay_ns.shape[0])
+
+    def __getitem__(self, index: int) -> RepeaterDesign:
+        return RepeaterDesign(
+            layer_name=self.layer_name,
+            length_um=float(self.length_um[index]),
+            temperature_k=float(self.temperature_k[index]),
+            n_repeaters=int(self.n_repeaters[index]),
+            repeater_size=float(self.repeater_size[index]),
+            delay_ns=float(self.delay_ns[index]),
+        )
+
+    def __iter__(self) -> Iterator[RepeaterDesign]:
+        return (self[i] for i in range(len(self)))
+
+    @property
+    def is_repeated(self) -> np.ndarray:
+        return self.n_repeaters > 1
+
+    @property
+    def delay_per_mm_ns(self) -> np.ndarray:
         return self.delay_ns / (self.length_um / 1000.0)
 
 
@@ -122,6 +178,13 @@ class RepeaterOptimizer:
             lambda: self.driver_r0_ohm * self.driver.gate_delay_factor(op),
         )
 
+    def _driver_resistance_batch(self, batch: OperatingPointBatch) -> np.ndarray:
+        """Vectorized :meth:`_driver_resistance` (ohm per point)."""
+        return get_context().memo_array(
+            ("driver_r_batch", self.driver.card, self.driver_r0_ohm, batch.key),
+            lambda: self.driver_r0_ohm * self.driver.gate_delay_factor_batch(batch),
+        )
+
     def _segment_delay_ns(
         self, r0: float, h: float, r: float, c: float, seg_len_um: float
     ) -> float:
@@ -138,7 +201,7 @@ class RepeaterOptimizer:
         length_um: float,
         n_repeaters: int,
         repeater_size: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
@@ -156,10 +219,41 @@ class RepeaterOptimizer:
         seg = length_um / n_repeaters
         return n_repeaters * self._segment_delay_ns(r0, repeater_size, r, c, seg)
 
+    def delay_with_batch(
+        self,
+        lengths_um,
+        n_repeaters,
+        repeater_size,
+        op: OperatingPointBatchLike = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`delay_with` (explicit per-point assignments).
+
+        ``n_repeaters``/``repeater_size`` broadcast against the length
+        grid; the operating-point batch broadcasts per the usual rules.
+        """
+        batch = as_operating_point_batch(op)
+        lengths, batch = broadcast_lengths(lengths_um, batch)
+        n = np.broadcast_to(
+            np.asarray(n_repeaters, dtype=float), lengths.shape
+        )
+        h = np.broadcast_to(
+            np.asarray(repeater_size, dtype=float), lengths.shape
+        )
+        if bool((lengths <= 0).any()):
+            raise ValueError("length must be positive")
+        if bool((n < 1).any()):
+            raise ValueError("need at least the source driver (n_repeaters >= 1)")
+        if bool((h < 1.0).any()):
+            raise ValueError("repeater size below minimum (1.0)")
+        r0 = self._driver_resistance_batch(batch)
+        r = self.layer.resistance_per_um_batch(batch)
+        c = self.layer.capacitance_f_per_um
+        return n * self._segment_delay_ns(r0, h, r, c, lengths / n)
+
     def optimize(
         self,
         length_um: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> RepeaterDesign:
@@ -167,7 +261,9 @@ class RepeaterOptimizer:
 
         ``n_repeaters == 1`` means a single driver at the source (an
         'unrepeated' wire in the paper's Fig. 5 terminology). Results
-        are memoized per ``(layer, driver, length, op)``.
+        are memoized per ``(layer, driver, length, op)``. Thin wrapper
+        over the length-1 batch kernel (:meth:`optimize_batch` owns the
+        formula).
         """
         if length_um <= 0:
             raise ValueError("length must be positive")
@@ -179,33 +275,76 @@ class RepeaterOptimizer:
         )
         return get_context().memo(
             ("repeater_opt", *self._spec_key(), length_um, op.key),
-            lambda: self._optimize(length_um, op),
+            lambda: self._optimize_batch(
+                np.array([float(length_um)]),
+                OperatingPointBatch.from_points([op]),
+            )[0],
         )
 
-    def _optimize(self, length_um: float, op: OperatingPoint) -> RepeaterDesign:
-        r0 = self._driver_resistance(op)
-        r = self.layer.resistance_per_um(op)
+    def optimize_batch(
+        self,
+        lengths_um,
+        op: OperatingPointBatchLike = None,
+    ) -> RepeaterDesignBatch:
+        """Vectorized :meth:`optimize` over a length grid and a batch.
+
+        Either side broadcasts from length 1; results are memoized per
+        ``(spec, lengths digest, batch key)`` and element ``i`` is
+        bit-identical to ``optimize(lengths[i], batch[i])``.
+        """
+        batch = check_operating_point_batch(
+            as_operating_point_batch(op), "repeater.optimize"
+        )
+        lengths, batch = broadcast_lengths(lengths_um, batch)
+        if bool((lengths <= 0).any()):
+            raise ValueError("length must be positive")
+        validate_wire_geometry_batch(
+            lengths, layer_name=self.layer.name, site="repeater.geometry"
+        )
+        return get_context().memo(
+            (
+                "repeater_opt_batch",
+                *self._spec_key(),
+                lengths.shape[0],
+                array_digest(lengths),
+                batch.key,
+            ),
+            lambda: self._optimize_batch(lengths, batch),
+        )
+
+    def _optimize_batch(
+        self, lengths_um: np.ndarray, batch: OperatingPointBatch
+    ) -> RepeaterDesignBatch:
+        r0 = self._driver_resistance_batch(batch)
+        r = self.layer.resistance_per_um_batch(batch)
         c = self.layer.capacitance_f_per_um
         cg, cp = self.driver_cg_ff, self.driver_cp_ff
 
-        h_opt = max(1.0, math.sqrt(r0 * c / (r * cg)))
-        n_cont = length_um * math.sqrt((_DW * r * c) / (_SW * r0 * (cg + cp)))
-        candidates = {1, max(1, math.floor(n_cont)), math.ceil(n_cont)}
-
-        best: Optional[RepeaterDesign] = None
-        for n in sorted(candidates):
-            delay = self.delay_with(length_um, n, h_opt, op)
-            if best is None or delay < best.delay_ns:
-                best = RepeaterDesign(
-                    layer_name=self.layer.name,
-                    length_um=length_um,
-                    temperature_k=op.temperature_k,
-                    n_repeaters=n,
-                    repeater_size=h_opt,
-                    delay_ns=delay,
-                )
-        assert best is not None
-        return best
+        h_opt = np.maximum(1.0, np.sqrt(r0 * c / (r * cg)))
+        n_cont = lengths_um * np.sqrt((_DW * r * c) / (_SW * r0 * (cg + cp)))
+        # Candidate repeater counts, stacked in non-decreasing order so
+        # np.argmin's first-minimum rule reproduces the scalar
+        # optimizer's sorted-candidates / strict-improvement tie-break.
+        candidates = np.stack(
+            [
+                np.ones_like(n_cont),
+                np.maximum(1.0, np.floor(n_cont)),
+                np.ceil(n_cont),
+            ]
+        )
+        delays = candidates * self._segment_delay_ns(
+            r0, h_opt, r, c, lengths_um / candidates
+        )
+        pick = np.argmin(delays, axis=0)
+        cols = np.arange(lengths_um.shape[0])
+        return RepeaterDesignBatch(
+            layer_name=self.layer.name,
+            length_um=frozen(np.array(lengths_um, dtype=float)),
+            temperature_k=batch.temperature_k,
+            n_repeaters=frozen(candidates[pick, cols].astype(int)),
+            repeater_size=frozen(h_opt),
+            delay_ns=frozen(delays[pick, cols].copy()),
+        )
 
     def speedup(
         self,
@@ -221,6 +360,6 @@ class RepeaterOptimizer:
         design rather than reusing the 300 K repeater placement.
         """
         op = as_operating_point(op, vdd_v, vth_v)
-        base = self.optimize(length_um, T_ROOM).delay_ns
+        base = self.optimize(length_um, OP_ROOM).delay_ns
         cold = self.optimize(length_um, op).delay_ns
         return base / cold

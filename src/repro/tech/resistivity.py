@@ -31,6 +31,7 @@ from repro.tech.constants import (
     DEBYE_TEMPERATURE_CU,
     T_ROOM,
     check_temperature,
+    check_temperature_batch,
 )
 
 
@@ -60,6 +61,26 @@ def bloch_gruneisen_ratio(temperature_k: float, debye_k: float = DEBYE_TEMPERATU
     return at_t / at_ref
 
 
+def bloch_gruneisen_ratio_batch(
+    temperature_k, debye_k: float = DEBYE_TEMPERATURE_CU
+) -> np.ndarray:
+    """Vectorized :func:`bloch_gruneisen_ratio` over a temperature column.
+
+    The underlying Bloch-Grueneisen integral is adaptive quadrature, so
+    "vectorizing" it honestly means evaluating each *distinct*
+    temperature exactly once through the lru-cached scalar and
+    broadcasting — a dense (T, Vdd, Vth) product grid typically has a
+    handful of unique temperatures for thousands of points. Results are
+    bit-identical to the scalar path by construction.
+    """
+    t = check_temperature_batch(temperature_k)
+    unique, inverse = np.unique(t, return_inverse=True)
+    ratios = np.array(
+        [bloch_gruneisen_ratio(float(u), debye_k) for u in unique], dtype=float
+    )
+    return ratios[inverse]
+
+
 @dataclass(frozen=True)
 class CryoResistivityModel:
     """Resistivity of one wire population versus temperature.
@@ -87,14 +108,26 @@ class CryoResistivityModel:
             raise ValueError("residual_fraction must lie in [0, 1)")
 
     def resistivity(self, temperature_k: float) -> float:
-        """Effective resistivity (ohm*micron) at ``temperature_k``."""
-        phi = bloch_gruneisen_ratio(temperature_k, self.debye_k)
+        """Effective resistivity (ohm*micron) at ``temperature_k``.
+
+        Thin wrapper over the length-1 batch path — the Matthiessen
+        combination lives in exactly one place.
+        """
+        return float(self.resistivity_batch([temperature_k])[0])
+
+    def resistivity_batch(self, temperature_k) -> np.ndarray:
+        """Vectorized :meth:`resistivity` over a temperature column."""
+        phi = bloch_gruneisen_ratio_batch(temperature_k, self.debye_k)
         f_res = self.residual_fraction
         return self.rho_300k_ohm_um * (f_res + (1.0 - f_res) * phi)
 
     def ratio_vs_room(self, temperature_k: float) -> float:
         """rho(T) / rho(300 K); < 1 below room temperature."""
-        return self.resistivity(temperature_k) / self.rho_300k_ohm_um
+        return float(self.ratio_vs_room_batch([temperature_k])[0])
+
+    def ratio_vs_room_batch(self, temperature_k) -> np.ndarray:
+        """Vectorized :meth:`ratio_vs_room` over a temperature column."""
+        return self.resistivity_batch(temperature_k) / self.rho_300k_ohm_um
 
     @classmethod
     def from_cryo_ratio(

@@ -13,9 +13,18 @@ share the repeater optimiser's memoization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
-from repro.tech.constants import T_ROOM
+import numpy as np
+
+from repro.tech.batch import (
+    OperatingPointBatch,
+    OperatingPointBatchLike,
+    array_digest,
+    as_operating_point_batch,
+    broadcast_lengths,
+    frozen,
+)
 from repro.tech.context import get_context
 from repro.tech.metal import FREEPDK45_STACK, OHM_FF_TO_NS, MetalLayer, WireTechnology
 from repro.tech.mosfet import (
@@ -25,6 +34,7 @@ from repro.tech.mosfet import (
     MOSFETCard,
 )
 from repro.tech.operating_point import (
+    OP_ROOM,
     OperatingPoint,
     OperatingPointLike,
     as_operating_point,
@@ -57,6 +67,47 @@ class WireDelayBreakdown:
     def wire_fraction(self) -> float:
         total = self.total_ns
         return self.wire_ns / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class WireDelayBreakdownBatch:
+    """Per-point wire-delay decompositions (the plural of
+    :class:`WireDelayBreakdown`: same fields, array-valued columns).
+
+    ``batch[i]`` yields the scalar :class:`WireDelayBreakdown` of point
+    ``i``.
+    """
+
+    transistor_ns: np.ndarray
+    wire_ns: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.transistor_ns.shape[0])
+
+    def __getitem__(self, index: int) -> WireDelayBreakdown:
+        return WireDelayBreakdown(
+            transistor_ns=float(self.transistor_ns[index]),
+            wire_ns=float(self.wire_ns[index]),
+        )
+
+    def __iter__(self) -> Iterator[WireDelayBreakdown]:
+        return (self[i] for i in range(len(self)))
+
+    @property
+    def total_ns(self) -> np.ndarray:
+        return self.transistor_ns + self.wire_ns
+
+    @property
+    def wire_fraction(self) -> np.ndarray:
+        total = self.total_ns
+        # Zero-total points report fraction 0 (scalar parity) without
+        # tripping pytest's RuntimeWarning-as-error on 0/0.
+        return np.divide(
+            self.wire_ns,
+            total,
+            out=np.zeros_like(total),
+            where=total > 0,
+        )
 
 
 class CryoWireModel:
@@ -101,7 +152,7 @@ class CryoWireModel:
         self,
         layer_name: str,
         length_um: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
         load_ff: float = UNREPEATED_LOAD_FF,
@@ -110,7 +161,8 @@ class CryoWireModel:
 
         The transistor component is the driving gate's intrinsic delay
         (scaled by the logic card); the wire component is the distributed
-        RC flight time plus the wire-resistance/receiver-load term.
+        RC flight time plus the wire-resistance/receiver-load term. Thin
+        wrapper over the length-1 batch kernel.
         """
         if length_um < 0:
             raise ValueError("length must be non-negative")
@@ -118,24 +170,66 @@ class CryoWireModel:
         layer = self.stack.layer(layer_name)
         return get_context().memo(
             ("unrepeated", layer, self.logic.card, length_um, load_ff, op.key),
-            lambda: self._unrepeated_breakdown(layer, length_um, op, load_ff),
+            lambda: self._unrepeated_breakdown_batch(
+                layer,
+                np.array([float(length_um)]),
+                OperatingPointBatch.from_points([op]),
+                load_ff,
+            )[0],
         )
 
-    def _unrepeated_breakdown(
-        self, layer: MetalLayer, length_um: float, op: OperatingPoint, load_ff: float
-    ) -> WireDelayBreakdown:
-        drive = UNREPEATED_DRIVE_NS * self.logic.gate_delay_factor(op)
-        r = layer.resistance_per_um(op)
+    def unrepeated_breakdown_batch(
+        self,
+        layer_name: str,
+        lengths_um,
+        op: OperatingPointBatchLike = None,
+        load_ff: float = UNREPEATED_LOAD_FF,
+    ) -> WireDelayBreakdownBatch:
+        """Vectorized :meth:`unrepeated_breakdown` over lengths and a batch.
+
+        Either side broadcasts from length 1; element ``i`` is
+        bit-identical to ``unrepeated_breakdown(lengths[i], batch[i])``.
+        """
+        batch = as_operating_point_batch(op)
+        lengths, batch = broadcast_lengths(lengths_um, batch)
+        if bool((lengths < 0).any()):
+            raise ValueError("length must be non-negative")
+        layer = self.stack.layer(layer_name)
+        return get_context().memo(
+            (
+                "unrepeated_batch",
+                layer,
+                self.logic.card,
+                lengths.shape[0],
+                array_digest(lengths),
+                load_ff,
+                batch.key,
+            ),
+            lambda: self._unrepeated_breakdown_batch(layer, lengths, batch, load_ff),
+        )
+
+    def _unrepeated_breakdown_batch(
+        self,
+        layer: MetalLayer,
+        lengths_um: np.ndarray,
+        batch: OperatingPointBatch,
+        load_ff: float,
+    ) -> WireDelayBreakdownBatch:
+        drive = UNREPEATED_DRIVE_NS * self.logic.gate_delay_factor_batch(batch)
+        r = layer.resistance_per_um_batch(batch)
         c = layer.capacitance_f_per_um
-        flight = _DW * r * c * length_um**2 * OHM_FF_TO_NS
-        load = _SW * r * length_um * load_ff * OHM_FF_TO_NS
-        return WireDelayBreakdown(transistor_ns=drive, wire_ns=flight + load)
+        flight = _DW * r * c * lengths_um**2 * OHM_FF_TO_NS
+        load = _SW * r * lengths_um * load_ff * OHM_FF_TO_NS
+        return WireDelayBreakdownBatch(
+            transistor_ns=frozen(np.array(drive, dtype=float)),
+            wire_ns=frozen(flight + load),
+        )
 
     def unrepeated_delay(
         self,
         layer_name: str,
         length_um: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
@@ -143,11 +237,20 @@ class CryoWireModel:
             layer_name, length_um, op, vdd_v, vth_v
         ).total_ns
 
+    def unrepeated_delay_batch(
+        self,
+        layer_name: str,
+        lengths_um,
+        op: OperatingPointBatchLike = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`unrepeated_delay` (total ns per point)."""
+        return self.unrepeated_breakdown_batch(layer_name, lengths_um, op).total_ns
+
     def unrepeated_speedup(
         self, layer_name: str, length_um: float, op: OperatingPointLike
     ) -> float:
         """Speed-up of an unrepeated wire at the operating point vs 300 K."""
-        base = self.unrepeated_delay(layer_name, length_um, T_ROOM)
+        base = self.unrepeated_delay(layer_name, length_um, OP_ROOM)
         cold = self.unrepeated_delay(layer_name, length_um, as_operating_point(op))
         return base / cold
 
@@ -158,7 +261,7 @@ class CryoWireModel:
         self,
         layer_name: str,
         length_um: float,
-        op: OperatingPointLike = T_ROOM,
+        op: OperatingPointLike = None,
         vdd_v: Optional[float] = None,
         vth_v: Optional[float] = None,
     ) -> float:
@@ -168,6 +271,15 @@ class CryoWireModel:
             .optimize(length_um, as_operating_point(op, vdd_v, vth_v))
             .delay_ns
         )
+
+    def repeated_delay_batch(
+        self,
+        layer_name: str,
+        lengths_um,
+        op: OperatingPointBatchLike = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`repeated_delay` (optimally repeated, ns)."""
+        return self.optimizer(layer_name).optimize_batch(lengths_um, op).delay_ns
 
     def repeated_speedup(
         self, layer_name: str, length_um: float, op: OperatingPointLike
@@ -184,7 +296,23 @@ class CryoWireModel:
         op: OperatingPointLike,
         repeated: bool = False,
     ) -> Dict[float, float]:
-        """Speed-up at the operating point for each length in the sweep."""
+        """Speed-up at the operating point for each length in the sweep.
+
+        Evaluated through the batch kernels (one vectorized pass at the
+        sweep point and one at 300 K); the per-length values are
+        bit-identical to the scalar ``*_speedup`` methods.
+        """
         op = as_operating_point(op)
-        fn = self.repeated_speedup if repeated else self.unrepeated_speedup
-        return {length: fn(layer_name, length, op) for length in lengths_um}
+        lengths = list(lengths_um)
+        if not lengths:
+            return {}
+        if repeated:
+            base = self.repeated_delay_batch(layer_name, lengths, OP_ROOM)
+            cold = self.repeated_delay_batch(layer_name, lengths, op)
+        else:
+            base = self.unrepeated_delay_batch(layer_name, lengths, OP_ROOM)
+            cold = self.unrepeated_delay_batch(layer_name, lengths, op)
+        speedups = base / cold
+        return {
+            length: float(speedups[i]) for i, length in enumerate(lengths)
+        }

@@ -413,6 +413,125 @@ def check_operating_point(op, site: str = "guards.operating_point"):
     return op
 
 
+def validate_operating_point_batch(
+    batch,
+    *,
+    site: str = "guards.operating_point",
+    guards: Optional[GuardContext] = None,
+) -> Tuple[ModelWarning, ...]:
+    """Vectorized :func:`validate_operating_point` over a whole batch.
+
+    ``batch`` is duck-typed on ``temperature_k``/``vdd_v``/``vth_v``
+    array columns (NaN in a voltage column encodes "card nominal", the
+    scalar layer's ``None``) — this module must not import the tech
+    layer. Each violated domain *region* produces **one** deduplicated
+    :class:`ModelWarning` carrying the number of affected points and the
+    first violating point, rather than one warning per point: a dense
+    sweep that strays past an anchor trips each guard once, not ten
+    thousand times. Severities match the scalar validator exactly.
+    """
+    import numpy as np
+
+    context = guards if guards is not None else get_guards()
+    if not context.enabled:
+        return ()
+    t = np.asarray(batch.temperature_k, dtype=float)
+    vdd = np.asarray(batch.vdd_v, dtype=float)
+    vth = np.asarray(batch.vth_v, dtype=float)
+    n = t.shape[0]
+    if n == 0:
+        return ()
+    found: List[ModelWarning] = []
+
+    def emit(mask: "np.ndarray", severity: str, describe: str) -> None:
+        count = int(mask.sum())
+        if not count:
+            return
+        i = int(np.argmax(mask))
+        op = (
+            float(t[i]),
+            None if np.isnan(vdd[i]) else float(vdd[i]),
+            None if np.isnan(vth[i]) else float(vth[i]),
+        )
+        message = (
+            f"{count} of {n} point(s): {describe} "
+            f"(first at index {i}: T={op[0]:g} K"
+            + (f", Vdd={op[1]:g} V" if op[1] is not None else "")
+            + (f", Vth={op[2]:g} V" if op[2] is not None else "")
+            + ")"
+        )
+        finding = ModelWarning(
+            site=site, message=message, severity=severity, op=op
+        )
+        found.append(finding)
+        context.record(finding)
+
+    has_vdd = ~np.isnan(vdd)
+    has_vth = ~np.isnan(vth)
+    physical = (t > 0.0) & ~np.isnan(t)
+    emit(~physical, ERROR, "temperature is not physical")
+    in_hard = physical & (t >= T_HARD_MIN_K) & (t <= T_HARD_MAX_K)
+    emit(
+        physical & ~in_hard,
+        ERROR,
+        f"temperature outside the hard model range "
+        f"[{T_HARD_MIN_K:g}, {T_HARD_MAX_K:g}] K",
+    )
+    emit(
+        in_hard & ((t < T_CALIBRATED_MIN_K) | (t > T_CALIBRATED_MAX_K)),
+        WARNING,
+        f"temperature extrapolates beyond the "
+        f"[{T_CALIBRATED_MIN_K:g}, {T_CALIBRATED_MAX_K:g}] K "
+        f"calibration anchors",
+    )
+    emit(has_vdd & ~(vdd > 0.0), ERROR, "Vdd must be positive")
+    emit(
+        has_vth & ~(vth > 0.0),
+        ERROR,
+        "Vth must be positive (vdd > vth > 0)",
+    )
+    electrical = has_vdd & has_vth & (vdd > 0.0) & (vth > 0.0)
+    emit(electrical & (vdd <= vth), ERROR, "Vdd must exceed Vth")
+    emit(
+        electrical & (vdd > vth) & (vdd - vth < MIN_OVERDRIVE_V),
+        WARNING,
+        f"overdrive below the {MIN_OVERDRIVE_V:g} V drive-model "
+        f"validity floor",
+    )
+    return tuple(found)
+
+
+def check_operating_point_batch(batch, site: str = "guards.operating_point"):
+    """Hot-path batch guard: validate ``batch`` and return it unchanged.
+
+    The clean path — every point inside the calibration anchors with a
+    healthy overdrive — is a handful of vectorized comparisons; anything
+    suspicious falls through to :func:`validate_operating_point_batch`.
+    The batch analogue of :func:`check_operating_point`; batch model
+    entry points call this on every evaluation.
+    """
+    import numpy as np
+
+    context = getattr(_LOCAL, "active", _DEFAULT)
+    if not context.enabled:
+        return batch
+    t = batch.temperature_k
+    vdd = batch.vdd_v
+    vth = batch.vth_v
+    if t.shape[0] == 0:
+        return batch
+    no_vdd = np.isnan(vdd)
+    no_vth = np.isnan(vth)
+    ok = (t >= T_CALIBRATED_MIN_K) & (t <= T_CALIBRATED_MAX_K)
+    ok &= no_vdd | (vdd > 0.0)
+    ok &= no_vth | (vth > 0.0)
+    ok &= no_vdd | no_vth | (vdd - vth >= MIN_OVERDRIVE_V)
+    if bool(np.all(ok)):
+        return batch
+    validate_operating_point_batch(batch, site=site, guards=context)
+    return batch
+
+
 def validate_wire_geometry(
     length_um: float,
     *,
@@ -442,6 +561,59 @@ def validate_wire_geometry(
             f"{label} length {length_um:g} um exceeds the plausible "
             f"on-die span ({MAX_WIRE_LENGTH_UM:g} um)",
         )
+    return tuple(found)
+
+
+def validate_wire_geometry_batch(
+    lengths_um,
+    *,
+    layer_name: str = "",
+    site: str = "guards.geometry",
+    guards: Optional[GuardContext] = None,
+) -> Tuple[ModelWarning, ...]:
+    """Vectorized :func:`validate_wire_geometry` over a length column.
+
+    Like :func:`validate_operating_point_batch`, each violated region
+    yields one deduplicated warning carrying the count and the first
+    offending length, not one warning per element.
+    """
+    import numpy as np
+
+    context = guards if guards is not None else get_guards()
+    if not context.enabled:
+        return ()
+    lengths = np.asarray(lengths_um, dtype=float)
+    n = lengths.shape[0]
+    if n == 0:
+        return ()
+    label = f"{layer_name} wire" if layer_name else "wire"
+    found: List[ModelWarning] = []
+
+    def emit(mask: "np.ndarray", severity: str, describe: str) -> None:
+        count = int(mask.sum())
+        if not count:
+            return
+        i = int(np.argmax(mask))
+        finding = ModelWarning(
+            site=site,
+            message=(
+                f"{count} of {n} length(s): {label} {describe} "
+                f"(first at index {i}: {lengths[i]:g} um)"
+            ),
+            severity=severity,
+        )
+        found.append(finding)
+        context.record(finding)
+
+    finite = np.isfinite(lengths)
+    emit(~finite, ERROR, "length is not finite")
+    emit(finite & (lengths <= 0.0), ERROR, "length must be positive")
+    emit(
+        finite & (lengths > MAX_WIRE_LENGTH_UM),
+        WARNING,
+        f"length exceeds the plausible on-die span "
+        f"({MAX_WIRE_LENGTH_UM:g} um)",
+    )
     return tuple(found)
 
 

@@ -19,6 +19,12 @@ implementation of the models must satisfy:
 * **domain validity** — every grid point passes the guard validators
   without error-severity findings.
 
+Every sweep runs through the vectorized batch kernels
+(:class:`~repro.tech.batch.OperatingPointBatch`): each monotonicity law
+is one array comparison, and a broken law is reported as the *first*
+violating point together with its neighbouring samples, so the report
+localises the defect instead of flooding one record per grid pair.
+
 The audit runs inside its own :class:`~repro.util.guards.GuardContext`
 (strict on request) and a fresh
 :class:`~repro.tech.context.TechContext`, so it neither inherits nor
@@ -31,9 +37,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.tech.batch import OperatingPointBatch
 from repro.tech.context import TechContext, use_context
-from repro.tech.metal import FREEPDK45_STACK
-from repro.tech.operating_point import OperatingPoint
 from repro.tech.wire import CryoWireModel
 from repro.util.guards import (
     ERROR,
@@ -41,6 +48,7 @@ from repro.util.guards import (
     ModelWarning,
     use_guards,
     validate_operating_point,
+    validate_operating_point_batch,
 )
 
 #: Default operating-point grid: the two calibration anchors plus the
@@ -104,6 +112,17 @@ class AuditReport:
         return "\n".join(lines)
 
 
+def _neighbourhood(
+    xs: Sequence[float], ys: np.ndarray, index: int, x_unit: str, y_unit: str
+) -> str:
+    """Render sample ``index`` of a series with its neighbouring samples."""
+    lo = max(index - 1, 0)
+    hi = min(index + 2, len(xs))
+    return ", ".join(
+        f"f({xs[j]:g} {x_unit}) = {ys[j]:g} {y_unit}" for j in range(lo, hi)
+    )
+
+
 class _Audit:
     """Mutable state of one sweep (violations + check counter)."""
 
@@ -116,20 +135,75 @@ class _Audit:
         if not condition:
             self.violations.append(InvariantViolation(invariant, site, message))
 
+    def check_series_monotone(
+        self,
+        xs: Sequence[float],
+        ys: np.ndarray,
+        *,
+        invariant: str,
+        site: str,
+        x_unit: str,
+        y_unit: str,
+        strict: bool = False,
+    ) -> None:
+        """One check per adjacent pair of a sampled series, vectorized.
 
-def _audit_resistance(audit: _Audit, model: CryoWireModel, temps: Sequence[float]) -> None:
-    """Wire R/um non-decreasing in temperature, per layer."""
-    for name, layer in model.stack.layers.items():
-        values = [layer.resistance_per_um(OperatingPoint.at(t)) for t in temps]
-        for (t_lo, r_lo), (t_hi, r_hi) in zip(
-            zip(temps, values), zip(temps[1:], values[1:])
-        ):
-            audit.check(
-                r_lo <= r_hi * (1.0 + _OPT_RTOL),
-                "resistance_monotone_T",
-                name,
-                f"R({t_lo:g} K) = {r_lo:g} > R({t_hi:g} K) = {r_hi:g} ohm/um",
+        Non-strict mode allows :data:`_OPT_RTOL` of float noise. A broken
+        series is reported once, at the first violating sample together
+        with its neighbours.
+        """
+        ys = np.asarray(ys, dtype=float)
+        if strict:
+            bad = ~(ys[:-1] < ys[1:])
+            law = "strictly increasing"
+        else:
+            bad = ys[:-1] > ys[1:] * (1.0 + _OPT_RTOL)
+            law = "non-decreasing"
+        self.checks += int(bad.shape[0])
+        if bool(bad.any()):
+            first = int(np.argmax(bad)) + 1  # first sample that breaks the law
+            self.violations.append(
+                InvariantViolation(
+                    invariant,
+                    site,
+                    f"series not {law}: first violation at "
+                    f"{xs[first]:g} {x_unit} (neighbourhood: "
+                    f"{_neighbourhood(xs, ys, first, x_unit, y_unit)})",
+                )
             )
+
+    def check_array(
+        self,
+        ok: np.ndarray,
+        invariant: str,
+        site: str,
+        describe_first,
+    ) -> None:
+        """Count one check per element; report the first failing element."""
+        ok = np.asarray(ok, dtype=bool)
+        self.checks += int(ok.shape[0])
+        if not bool(ok.all()):
+            first = int(np.argmax(~ok))
+            self.violations.append(
+                InvariantViolation(invariant, site, describe_first(first))
+            )
+
+
+def _audit_resistance(
+    audit: _Audit, model: CryoWireModel, temps: Sequence[float]
+) -> None:
+    """Wire R/um non-decreasing in temperature, per layer."""
+    batch = OperatingPointBatch.from_grid(temps)
+    for name, layer in model.stack.layers.items():
+        values = layer.resistance_per_um_batch(batch)
+        audit.check_series_monotone(
+            temps,
+            values,
+            invariant="resistance_monotone_T",
+            site=name,
+            x_unit="K",
+            y_unit="ohm/um",
+        )
 
 
 def _audit_delay_vs_temperature(
@@ -139,26 +213,22 @@ def _audit_delay_vs_temperature(
     lengths: Sequence[float],
 ) -> None:
     """Unrepeated delay non-decreasing in T; 77 K never slower than 300 K."""
+    batch = OperatingPointBatch.from_grid(temps)
+    anchors = OperatingPointBatch.from_grid([77.0, 300.0])
     for name in model.stack.layers:
         for length in lengths:
-            delays = [
-                model.unrepeated_delay(name, length, OperatingPoint.at(t))
-                for t in temps
-            ]
-            for (t_lo, d_lo), (t_hi, d_hi) in zip(
-                zip(temps, delays), zip(temps[1:], delays[1:])
-            ):
-                audit.check(
-                    d_lo <= d_hi * (1.0 + _OPT_RTOL),
-                    "delay_monotone_T",
-                    f"{name}/{length:g}um",
-                    f"delay({t_lo:g} K) = {d_lo:g} ns > "
-                    f"delay({t_hi:g} K) = {d_hi:g} ns",
-                )
-            cold = model.unrepeated_delay(name, length, OperatingPoint.at(77.0))
-            warm = model.unrepeated_delay(name, length, OperatingPoint.at(300.0))
+            delays = model.unrepeated_delay_batch(name, [length], batch)
+            audit.check_series_monotone(
+                temps,
+                delays,
+                invariant="delay_monotone_T",
+                site=f"{name}/{length:g}um",
+                x_unit="K",
+                y_unit="ns",
+            )
+            cold, warm = model.unrepeated_delay_batch(name, [length], anchors)
             audit.check(
-                cold <= warm * (1.0 + _OPT_RTOL),
+                bool(cold <= warm * (1.0 + _OPT_RTOL)),
                 "cryo_never_slower",
                 f"{name}/{length:g}um",
                 f"77 K delay {cold:g} ns exceeds 300 K delay {warm:g} ns",
@@ -172,24 +242,24 @@ def _audit_delay_vs_length(
     lengths: Sequence[float],
 ) -> None:
     """Unrepeated and repeated delays strictly increasing in length."""
+    lengths_arr = np.asarray(lengths, dtype=float)
     for name in model.stack.layers:
         for t in temps:
-            op = OperatingPoint.at(t)
+            point = OperatingPointBatch.from_grid([t])
             for kind, fn in (
-                ("unrepeated", model.unrepeated_delay),
-                ("repeated", model.repeated_delay),
+                ("unrepeated", model.unrepeated_delay_batch),
+                ("repeated", model.repeated_delay_batch),
             ):
-                delays = [fn(name, length, op) for length in lengths]
-                for (l_lo, d_lo), (l_hi, d_hi) in zip(
-                    zip(lengths, delays), zip(lengths[1:], delays[1:])
-                ):
-                    audit.check(
-                        d_lo < d_hi,
-                        f"{kind}_delay_monotone_L",
-                        f"{name}@{t:g}K",
-                        f"delay({l_lo:g} um) = {d_lo:g} ns >= "
-                        f"delay({l_hi:g} um) = {d_hi:g} ns",
-                    )
+                delays = fn(name, lengths_arr, point)
+                audit.check_series_monotone(
+                    lengths,
+                    delays,
+                    invariant=f"{kind}_delay_monotone_L",
+                    site=f"{name}@{t:g}K",
+                    x_unit="um",
+                    y_unit="ns",
+                    strict=True,
+                )
 
 
 def _audit_repeater_optimality(
@@ -198,31 +268,51 @@ def _audit_repeater_optimality(
     temps: Sequence[float],
     lengths: Sequence[float],
 ) -> None:
-    """The optimizer's design beats its (n, size) neighbours."""
+    """The optimizer's designs beat their (n, size) neighbours."""
+    lengths_arr = np.asarray(lengths, dtype=float)
     for name in model.stack.layers:
         optimizer = model.optimizer(name)
         for t in temps:
-            op = OperatingPoint.at(t)
-            for length in lengths:
-                design = optimizer.optimize(length, op)
-                site = f"{name}/{length:g}um@{t:g}K"
-                best = design.delay_ns
-                neighbours = []
-                if design.n_repeaters > 1:
-                    neighbours.append((design.n_repeaters - 1, design.repeater_size))
-                neighbours.append((design.n_repeaters + 1, design.repeater_size))
-                neighbours.append((design.n_repeaters, design.repeater_size * 1.1))
-                if design.repeater_size * 0.9 >= 1.0:
-                    neighbours.append((design.n_repeaters, design.repeater_size * 0.9))
-                for n, size in neighbours:
-                    rival = optimizer.delay_with(length, n, size, op)
-                    audit.check(
-                        best <= rival * (1.0 + _OPT_RTOL),
-                        "repeater_optimality",
-                        site,
-                        f"optimizer delay {best:g} ns beaten by "
-                        f"(n={n}, size={size:g}) at {rival:g} ns",
-                    )
+            point = OperatingPointBatch.from_grid([t])
+            designs = optimizer.optimize_batch(lengths_arr, point)
+            n = designs.n_repeaters.astype(float)
+            size = designs.repeater_size
+            best = designs.delay_ns
+            # Neighbour moves over the whole length grid at once. Moves
+            # that leave the design space (removing the lone source
+            # driver, shrinking below minimum size) are masked inactive
+            # — the rival is pinned at the design itself there so the
+            # vectorized pricing stays valid — and are not counted.
+            always = np.ones_like(n, dtype=bool)
+            moves = (
+                ("n-1", np.where(n > 1, n - 1, n), size, n > 1),
+                ("n+1", n + 1, size, always),
+                ("size*1.1", n, size * 1.1, always),
+                (
+                    "size*0.9",
+                    n,
+                    np.where(size * 0.9 >= 1.0, size * 0.9, size),
+                    size * 0.9 >= 1.0,
+                ),
+            )
+            for move, n_rival, size_rival, active in moves:
+                if not bool(active.any()):
+                    continue
+                rivals = optimizer.delay_with_batch(
+                    lengths_arr, n_rival, size_rival, point
+                )
+                ok = ~active | (best <= rivals * (1.0 + _OPT_RTOL))
+                audit.checks -= int((~active).sum())  # count real comparisons
+                audit.check_array(
+                    ok,
+                    "repeater_optimality",
+                    f"{name}@{t:g}K ({move})",
+                    lambda i, m=move, nr=n_rival, sr=size_rival, rv=rivals: (
+                        f"optimizer delay {best[i]:g} ns at "
+                        f"{lengths_arr[i]:g} um beaten by neighbour {m} "
+                        f"(n={nr[i]:g}, size={sr[i]:g}) at {rv[i]:g} ns"
+                    ),
+                )
 
 
 def run_audit(
@@ -233,10 +323,14 @@ def run_audit(
 ) -> AuditReport:
     """Sweep the invariant suite over an operating-point grid.
 
-    ``extra_points`` are raw ``(temperature_k, vdd_v, vth_v)`` triples
-    that are *validated only* — never fed to the models — so points the
-    models would refuse outright (4 K, vth above vdd) can still be
-    described with structured findings. Under ``strict=True`` the first
+    The grid is validated in one vectorized pass
+    (:func:`~repro.util.guards.validate_operating_point_batch`), and all
+    sweeps run through the batch kernels. ``extra_points`` are raw
+    ``(temperature_k, vdd_v, vth_v)`` triples that are *validated only*
+    — never fed to the models — so points the models would refuse
+    outright (4 K, vth above vdd) can still be described with structured
+    findings; they stay on the scalar validator, which accepts triples
+    the batch constructor rejects. Under ``strict=True`` the first
     non-info finding raises
     :class:`~repro.util.guards.ModelValidityError` instead.
     """
@@ -251,10 +345,11 @@ def run_audit(
     with use_guards(GuardContext(strict=strict)) as guards:
         with use_context(TechContext()):
             model = CryoWireModel()
-            for t in temps:
-                validate_operating_point(
-                    OperatingPoint.at(t), site="audit.grid", guards=guards
-                )
+            validate_operating_point_batch(
+                OperatingPointBatch.from_grid(temps),
+                site="audit.grid",
+                guards=guards,
+            )
             for point in extra_points:
                 validate_operating_point(
                     tuple(point), site="audit.extra_point", guards=guards

@@ -23,6 +23,7 @@ from repro.pipeline.config import (
 )
 from repro.pipeline.model import PipelineModel
 from repro.tech.constants import T_ROOM, T_VALIDATION
+from repro.tech.operating_point import OP_ROOM
 from repro.tech.repeater import RepeaterOptimizer
 from repro.tech.metal import FREEPDK45_STACK
 from repro.tech.scaling import project_speedup
@@ -118,7 +119,7 @@ def validate_router_model(
     """Compare the router model's uncore speed-up to one rig."""
     campaign = campaign if campaign is not None else MeasurementCampaign()
     router = RouterModel()
-    speedup_45nm = router.speedup(temperature_k)
+    speedup_45nm = router.speedup(OperatingPoint.at(temperature_k))
     components = _model_component_speedups(temperature_k)
     # Routers are logic-bound; project with the router's wire share.
     from repro.noc.router import ROUTER_WIRE_FRACTION
@@ -155,7 +156,7 @@ def validate_wire_link_model(
 
     optimizer = RepeaterOptimizer(FREEPDK45_STACK.layer("global"), NOC_LINK_CARD)
     simulator = CircuitSimulator(driver_card=NOC_LINK_CARD)
-    warm_design = optimizer.optimize(length_mm * 1000.0, T_ROOM)
+    warm_design = optimizer.optimize(length_mm * 1000.0, OP_ROOM)
     cold_design = optimizer.optimize(length_mm * 1000.0, op)
     warm_sim = simulator.simulate_design(warm_design)
     cold_sim = simulator.simulate_design(cold_design)

@@ -10,6 +10,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 #: Examples fast enough to execute wholesale in the test suite.
 FAST_EXAMPLES = (
     "quickstart.py",
+    "batch_sweep.py",
     "pipeline_exploration.py",
     "coherence_traffic.py",
     "detailed_mode.py",
