@@ -191,6 +191,11 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(raw)
+                handle.flush()
+                # The crash-safety story depends on the entry's bytes
+                # being durable *before* the rename publishes the path:
+                # os.replace is atomic in the namespace, not on disk.
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -201,12 +206,26 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry, including the ``corrupt/``
+        quarantine; returns how many files were removed.
+
+        Purging the quarantine matters for long-lived owners: a cleared
+        cache should report ``quarantined_count() == 0``, not carry the
+        previous epoch's post-mortems forward forever.
+        """
         removed = 0
         if self.cache_dir.is_dir():
             for path in self.cache_dir.glob("*.json"):
                 if path.name == MANIFEST_NAME:
                     continue
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        corrupt_dir = self.cache_dir / CORRUPT_DIR_NAME
+        if corrupt_dir.is_dir():
+            for path in corrupt_dir.glob("*.json"):
                 try:
                     path.unlink()
                     removed += 1

@@ -13,6 +13,7 @@ Usage::
     cryowire audit                         # physical-invariant sweep
     cryowire audit --point 4,0.4,0.6       # + describe an off-domain point
     cryowire run fig23 --strict            # guard warnings become errors
+    cryowire serve --port 8077             # long-running model-query API
 
 ``run`` and ``all`` execute through the caching execution engine
 (:mod:`repro.experiments.engine`): results are memoized on disk keyed by
@@ -232,6 +233,51 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="raise on the first non-info finding instead of reporting",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running model-query HTTP service",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        metavar="PORT",
+        help="bind port (default 8077; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batching coalescing window in milliseconds "
+        "(default 2.0; 0 still coalesces arrivals during compute)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="largest coalesced point batch (default 256)",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable micro-batching (each query evaluated alone; "
+        "the load-test A/B control)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="LRU cap on the warm TechContext memo store (default 4096)",
+    )
     return parser
 
 
@@ -360,6 +406,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         print(report.to_text())
         return 0 if report.ok else 1
+    if args.command == "serve":
+        from repro.serve import CryoWireServer, ModelService
+
+        if args.window_ms < 0:
+            raise SystemExit("error: --window-ms must be >= 0")
+        if args.max_batch < 1:
+            raise SystemExit("error: --max-batch must be >= 1")
+        if args.cache_entries < 1:
+            raise SystemExit("error: --cache-entries must be >= 1")
+        server = CryoWireServer(
+            service=ModelService(max_cache_entries=args.cache_entries),
+            host=args.host,
+            port=args.port,
+            window_s=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            batching_enabled=not args.no_batching,
+        )
+        server.run()
+        return 0
     # stats
     manifest = load_last_manifest(args.cache_dir)
     if manifest is None:

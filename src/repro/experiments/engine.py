@@ -88,6 +88,55 @@ class ExperimentTimeout(RuntimeError):
     """A driver exceeded its wall-clock budget (retryable)."""
 
 
+class LeakedThreadLimit(RuntimeError):
+    """Too many abandoned timeout threads are still running.
+
+    A timed-out driver's daemon thread keeps computing after the engine
+    gives up on it (see :func:`_call_with_timeout`). In a one-shot CLI
+    run that costs nothing — the process exits — but a long-running
+    service accumulates them. Past ``leak_threshold`` live leaked
+    threads the engine *refuses new submissions* with this error rather
+    than silently degrading under the hidden CPU load.
+    """
+
+
+# -- leaked-thread accounting ------------------------------------------------
+
+#: Daemon threads abandoned by the timeout path that may still be
+#: running. Pruned of finished threads on every access.
+_LEAKED_THREADS: List[threading.Thread] = []
+_LEAK_LOCK = threading.Lock()
+
+
+def _register_leaked_thread(thread: threading.Thread) -> None:
+    with _LEAK_LOCK:
+        _LEAKED_THREADS[:] = [t for t in _LEAKED_THREADS if t.is_alive()]
+        if thread.is_alive():
+            _LEAKED_THREADS.append(thread)
+
+
+def leaked_thread_count() -> int:
+    """Live driver threads abandoned by timeouts in *this* process."""
+    with _LEAK_LOCK:
+        _LEAKED_THREADS[:] = [t for t in _LEAKED_THREADS if t.is_alive()]
+        return len(_LEAKED_THREADS)
+
+
+def check_leak_budget(threshold: int) -> None:
+    """Raise :class:`LeakedThreadLimit` once the leak budget is spent.
+
+    ``threshold <= 0`` disables the check.
+    """
+    if threshold <= 0:
+        return
+    count = leaked_thread_count()
+    if count >= threshold:
+        raise LeakedThreadLimit(
+            f"{count} leaked driver thread(s) still running (threshold "
+            f"{threshold}); refusing new submissions until they drain"
+        )
+
+
 class ExperimentExecutionError(RuntimeError):
     """One or more experiments failed; the manifest was still written.
 
@@ -114,6 +163,9 @@ class RunRecord:
     #: Structured model-validity warnings the driver's guard context
     #: collected (``ModelWarning.to_dict()`` payloads).
     warnings: List[Dict] = field(default_factory=list)
+    #: Live leaked timeout threads in the executing worker when this
+    #: record was produced (a per-worker gauge, not a per-record delta).
+    leaked_threads: int = 0
 
     def to_dict(self) -> Dict:
         return {
@@ -124,6 +176,7 @@ class RunRecord:
             "error": self.error,
             "attempts": self.attempts,
             "warnings": list(self.warnings),
+            "leaked_threads": self.leaked_threads,
         }
 
     @classmethod
@@ -136,6 +189,7 @@ class RunRecord:
             error=data.get("error", ""),
             attempts=data.get("attempts", 1),
             warnings=list(data.get("warnings", [])),
+            leaked_threads=data.get("leaked_threads", 0),
         )
 
 
@@ -196,6 +250,20 @@ class RunManifest:
         return sum(len(record.warnings) for record in self.records)
 
     @property
+    def n_leaked_threads(self) -> int:
+        """Leaked timeout threads still live across the worker fleet.
+
+        Each record carries its worker's gauge at completion time, so
+        the fleet total is the max per worker pid summed over pids —
+        summing records would count the same leak once per experiment.
+        """
+        per_worker: Dict[int, int] = {}
+        for record in self.records:
+            pid = record.worker_pid
+            per_worker[pid] = max(per_worker.get(pid, 0), record.leaked_threads)
+        return sum(per_worker.values())
+
+    @property
     def hit_rate(self) -> float:
         return self.n_hits / len(self.records) if self.records else 0.0
 
@@ -222,6 +290,7 @@ class RunManifest:
                 "skipped": self.n_skipped,
                 "retries": self.n_retries,
                 "model_warnings": self.n_model_warnings,
+                "leaked_threads": self.n_leaked_threads,
                 "hit_rate": self.hit_rate,
                 "compute_s": self.compute_s,
             },
@@ -281,6 +350,8 @@ class RunManifest:
         )
         if self.n_model_warnings:
             lines.append(f"model warnings {self.n_model_warnings}")
+        if self.n_leaked_threads:
+            lines.append(f"leaked timeout threads {self.n_leaked_threads}")
         lines.append(
             f"total compute {self.compute_s:.2f}s, elapsed {self.elapsed_s:.2f}s"
         )
@@ -297,6 +368,11 @@ class RunOutcome:
     @property
     def failures(self) -> List[RunRecord]:
         return [r for r in self.manifest.records if r.status in FAILURE_STATUSES]
+
+    @property
+    def leaked_threads(self) -> int:
+        """Leaked timeout threads live across workers (see the manifest)."""
+        return self.manifest.n_leaked_threads
 
 
 # -- worker-side execution ---------------------------------------------------
@@ -325,8 +401,8 @@ def _invoke(
             result = get_spec(experiment_id).runner(**kwargs)
         finally:
             if warning_sink is not None:
-                warning_sink.extend(w.to_dict() for w in guards.warnings)
-    result.warnings = [w.to_dict() for w in guards.warnings]
+                warning_sink.extend(guards.to_dicts())
+    result.warnings = guards.to_dicts()
     return result
 
 
@@ -361,6 +437,9 @@ def _call_with_timeout(
     thread.start()
     thread.join(timeout_s)
     if thread.is_alive():
+        # The daemon thread is abandoned but keeps computing; track it
+        # so long-running owners can see (and bound) the accumulation.
+        _register_leaked_thread(thread)
         raise ExperimentTimeout(
             f"{experiment_id} exceeded its {timeout_s:g}s wall-clock budget"
         )
@@ -385,6 +464,7 @@ def _error_payload(
         "wall": wall,
         "pid": pid,
         "warnings": list(warnings or []),
+        "leaked": leaked_thread_count(),
     }
 
 
@@ -393,6 +473,7 @@ def _execute(
     kwargs: Dict,
     timeout_s: Optional[float] = None,
     strict: bool = False,
+    leak_threshold: int = 0,
 ) -> Dict:
     """Worker-side execution: always returns a picklable payload.
 
@@ -401,12 +482,16 @@ def _execute(
     failures (a crash is the only outcome that loses attribution).
     Guard warnings the driver collected travel in the payload either
     way: under ``strict`` a tripped guard is the error *and* its
-    structured record is still delivered.
+    structured record is still delivered. ``leaked`` reports the live
+    leaked-thread count of this worker process; a positive
+    ``leak_threshold`` refuses execution outright once that budget is
+    spent (a non-transient failure — retrying cannot help).
     """
     start = time.perf_counter()
     pid = os.getpid()
     sink: List[Dict] = []
     try:
+        check_leak_budget(leak_threshold)
         result = _call_with_timeout(experiment_id, kwargs, timeout_s, strict, sink)
     except Exception as exc:  # noqa: BLE001 - serialized back to the parent
         return _error_payload(
@@ -419,6 +504,7 @@ def _execute(
         "wall": time.perf_counter() - start,
         "pid": pid,
         "warnings": sink,
+        "leaked": leaked_thread_count(),
     }
 
 
@@ -462,6 +548,14 @@ class ExecutionEngine:
     ``rng_seed``
         Seeds the backoff jitter stream (via ``make_rng``) so sleep
         schedules replay identically.
+    ``leak_threshold``
+        Timed-out drivers leave their daemon thread computing (see
+        :func:`leaked_thread_count`). Once a worker process holds this
+        many *live* leaked threads, it refuses new submissions
+        (non-transient :class:`LeakedThreadLimit` failures) instead of
+        silently degrading. ``0`` disables the check; the default keeps
+        a long-running service honest while never triggering in a
+        healthy batch run.
     ``strict``
         Drivers run under a strict guard context: the first
         model-validity warning raises
@@ -482,6 +576,7 @@ class ExecutionEngine:
         backoff_cap_s: float = 2.0,
         rng_seed: Optional[int] = None,
         strict: bool = False,
+        leak_threshold: int = 32,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -489,6 +584,8 @@ class ExecutionEngine:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if crash_strikes < 1:
             raise ValueError(f"crash_strikes must be >= 1, got {crash_strikes}")
+        if leak_threshold < 0:
+            raise ValueError(f"leak_threshold must be >= 0, got {leak_threshold}")
         self.jobs = jobs or os.cpu_count() or 1
         self.cache = ResultCache(cache_dir)
         self.use_cache = use_cache and not cache_disabled_by_env()
@@ -498,6 +595,7 @@ class ExecutionEngine:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.strict = strict
+        self.leak_threshold = leak_threshold
         self._backoff_rng = make_rng(rng_seed, stream="engine.backoff")
 
     # -- scheduling ---------------------------------------------------------
@@ -539,7 +637,13 @@ class ExecutionEngine:
         task = _Task(experiment_id, kwargs, key, self._timeout_for(spec))
         while True:
             task.attempts += 1
-            payload = _execute(experiment_id, kwargs, task.timeout_s, self.strict)
+            payload = _execute(
+                experiment_id,
+                kwargs,
+                task.timeout_s,
+                self.strict,
+                self.leak_threshold,
+            )
             if self._wants_retry(task, payload):
                 time.sleep(self._backoff_s(task.transient_failures))
                 continue
@@ -672,6 +776,7 @@ class ExecutionEngine:
     ) -> None:
         """Record the final outcome of ``task`` (success or failure)."""
         warnings = list(payload.get("warnings", []))
+        leaked = payload.get("leaked", 0)
         if payload["ok"]:
             result = ExperimentResult.from_dict(payload["result"])
             results[task.experiment_id] = result
@@ -686,6 +791,7 @@ class ExecutionEngine:
                     payload["pid"],
                     attempts=max(1, task.attempts),
                     warnings=warnings,
+                    leaked_threads=leaked,
                 )
             )
             return
@@ -699,6 +805,7 @@ class ExecutionEngine:
                 error=payload["error"],
                 attempts=max(1, task.attempts),
                 warnings=warnings,
+                leaked_threads=leaked,
             )
         )
 
@@ -714,7 +821,11 @@ class ExecutionEngine:
             while True:
                 task.attempts += 1
                 payload = _execute(
-                    task.experiment_id, task.kwargs, task.timeout_s, self.strict
+                    task.experiment_id,
+                    task.kwargs,
+                    task.timeout_s,
+                    self.strict,
+                    self.leak_threshold,
                 )
                 if self._wants_retry(task, payload):
                     time.sleep(self._backoff_s(task.transient_failures))
@@ -757,6 +868,7 @@ class ExecutionEngine:
                         task.kwargs,
                         task.timeout_s,
                         self.strict,
+                        self.leak_threshold,
                     )
                     futures[future] = task.experiment_id
                 if not futures:
@@ -831,6 +943,7 @@ class ExecutionEngine:
                 task.kwargs,
                 task.timeout_s,
                 self.strict,
+                self.leak_threshold,
             )
             try:
                 return future.result(), False

@@ -1,0 +1,335 @@
+"""CryoWireServer: routes, lifecycle, and the in-thread test harness.
+
+The server wires three layers together:
+
+* :class:`~repro.serve.service.ModelService` answers model questions;
+* :class:`~repro.serve.batching.MicroBatcher` coalesces concurrent
+  ``POST /v1/query`` requests into vectorized batches;
+* :mod:`repro.serve.http` speaks just enough HTTP/1.1.
+
+Two dedicated single-thread executors keep the event loop responsive:
+the *model* executor runs point batches and grids (fast, vectorized),
+the *experiment* executor runs engine experiments and system-level IPC
+solves (slow, seconds) — so a long experiment never stalls the query
+path.
+
+On ``start()`` the server installs its service's
+:class:`~repro.tech.context.TechContext` as the process-global active
+context (and restores the previous one on ``stop()``). The context is
+process-global rather than thread-local by design — the whole point of
+the serve layer is that every request warms the *same* memo store — so
+the server installs it once at startup; nothing swaps contexts
+per-request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.http import (
+    HttpError,
+    Request,
+    read_request,
+    wants_keep_alive,
+    write_response,
+)
+from repro.serve.service import (
+    ModelService,
+    QueryError,
+    parse_point_query,
+)
+from repro.tech.context import get_context, set_context
+
+
+class CryoWireServer:
+    """The ``cryowire serve`` application."""
+
+    def __init__(
+        self,
+        service: Optional[ModelService] = None,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        window_s: float = 0.002,
+        max_batch: int = 256,
+        batching_enabled: bool = True,
+    ) -> None:
+        self.service = service if service is not None else ModelService()
+        self.host = host
+        self._requested_port = port
+        self._model_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cryowire-model"
+        )
+        self._experiment_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cryowire-exp"
+        )
+        self.batcher = MicroBatcher(
+            self.service.evaluate_points,
+            window_s=window_s,
+            max_batch=max_batch,
+            enabled=batching_enabled,
+            executor=self._model_executor,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._previous_context = None
+        self._n_connections = 0
+        self._n_http_errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket, start the batcher, install the warm context."""
+        if self._server is not None:
+            return
+        self._previous_context = get_context()
+        set_context(self.service.context)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Unbind, stop the batcher, restore the previous context."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        self._model_executor.shutdown(wait=False)
+        self._experiment_executor.shutdown(wait=False)
+        if self._previous_context is not None:
+            set_context(self._previous_context)
+            self._previous_context = None
+
+    def run(self) -> None:
+        """Blocking entry point (the ``cryowire serve`` CLI)."""
+
+        async def _forever() -> None:
+            await self.start()
+            print(f"cryowire serve listening on http://{self.host}:{self.port}")
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_forever())
+        except KeyboardInterrupt:
+            pass
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._n_connections += 1
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    self._n_http_errors += 1
+                    await write_response(
+                        writer, exc.status, exc.to_payload(), keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                keep = wants_keep_alive(request)
+                await write_response(writer, status, payload, keep_alive=keep)
+                if not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Tuple[int, Dict]:
+        """Route one request; every outcome is a (status, JSON) pair."""
+        try:
+            return await self._route(request)
+        except HttpError as exc:
+            self._n_http_errors += 1
+            return exc.status, exc.to_payload()
+        except QueryError as exc:
+            return exc.status, {"error": exc.to_dict()}
+        except Exception as exc:  # noqa: BLE001 - the 500 backstop
+            return 500, {
+                "error": {
+                    "code": "internal_error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            }
+
+    async def _route(self, request: Request) -> Tuple[int, Dict]:
+        loop = asyncio.get_running_loop()
+        key = (request.method, request.path)
+        if key == ("GET", "/healthz"):
+            return 200, {"status": "ok"}
+        if key == ("GET", "/stats"):
+            return 200, self.stats()
+        if key == ("GET", "/v1/cards"):
+            return 200, self.service.describe_cards()
+        if key == ("GET", "/v1/experiments"):
+            return 200, self.service.describe_experiments()
+        if key == ("POST", "/v1/query"):
+            query = parse_point_query(request.json())
+            payload = await self.batcher.submit(query)
+            if payload["ok"]:
+                return 200, payload
+            return 422, {"error": payload["error"]}
+        if key == ("POST", "/v1/grid"):
+            body = request.json()
+            return 200, await loop.run_in_executor(
+                self._model_executor, self.service.evaluate_grid, body
+            )
+        if key == ("POST", "/v1/ipc"):
+            body = request.json()
+            return 200, await loop.run_in_executor(
+                self._experiment_executor, self.service.evaluate_ipc, body
+            )
+        if key == ("POST", "/v1/experiment"):
+            body = request.json()
+            return 200, await loop.run_in_executor(
+                self._experiment_executor, self.service.run_experiment, body
+            )
+        known_paths = {
+            "/healthz",
+            "/stats",
+            "/v1/cards",
+            "/v1/experiments",
+            "/v1/query",
+            "/v1/grid",
+            "/v1/ipc",
+            "/v1/experiment",
+        }
+        if request.path in known_paths:
+            raise HttpError(
+                405, "method_not_allowed", f"{request.method} {request.path}"
+            )
+        raise HttpError(404, "not_found", f"no route for {request.path}")
+
+    def stats(self) -> Dict:
+        payload = self.service.stats()
+        payload["batching"] = self.batcher.stats()
+        payload["http"] = {
+            "connections": self._n_connections,
+            "protocol_errors": self._n_http_errors,
+        }
+        return payload
+
+
+class ServerHandle:
+    """A running in-thread server (tests, benchmarks, the load test)."""
+
+    def __init__(
+        self,
+        server: CryoWireServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stats(self) -> Dict:
+        """Server stats, fetched thread-safely off the loop."""
+        future = asyncio.run_coroutine_threadsafe(
+            _call_async(self.server.stats), self._loop
+        )
+        return future.result(timeout=10)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+async def _call_async(fn):
+    return fn()
+
+
+def serve_in_thread(
+    service: Optional[ModelService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    window_s: float = 0.002,
+    max_batch: int = 256,
+    batching_enabled: bool = True,
+    start_timeout_s: float = 15.0,
+) -> ServerHandle:
+    """Boot a :class:`CryoWireServer` on a background thread.
+
+    ``port=0`` binds an ephemeral port (read it back off the handle).
+    The caller owns the handle and must :meth:`ServerHandle.stop` it
+    (or use it as a context manager).
+    """
+    server = CryoWireServer(
+        service=service,
+        host=host,
+        port=port,
+        window_s=window_s,
+        max_batch=max_batch,
+        batching_enabled=batching_enabled,
+    )
+    ready = threading.Event()
+    box: Dict[str, object] = {}
+
+    def _target() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            box["error"] = exc
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=_target, daemon=True, name="cryowire-serve"
+    )
+    thread.start()
+    if not ready.wait(start_timeout_s):
+        raise RuntimeError("server did not start within the timeout")
+    if "error" in box:
+        raise RuntimeError(f"server failed to start: {box['error']}")
+    return ServerHandle(server, box["loop"], thread)

@@ -1,0 +1,207 @@
+"""MicroBatcher: coalesce concurrent point queries into one batch.
+
+The serve layer's throughput story in one mechanism. Each HTTP request
+carries a single :class:`~repro.serve.service.PointQuery`; evaluating
+them one at a time serialises a Python-level model call per request.
+Instead, requests are appended to a pending list and a single worker
+task drains it: it waits a short coalescing window (during which the
+event loop keeps accepting requests), then hands *everything* pending —
+up to ``max_batch`` — to the evaluate hook as one list, which
+:meth:`~repro.serve.service.ModelService.evaluate_points` turns into
+one :class:`~repro.tech.batch.OperatingPointBatch` per device card for
+the vectorized kernels. One NumPy pass replaces N scalar passes, and
+the per-call overhead (guard checks, context lookups, Python dispatch)
+is paid once per batch instead of once per request.
+
+Evaluation runs on a dedicated single-thread executor so the event loop
+never blocks: while one batch computes, the loop keeps enqueuing the
+next one — under load the batches grow to meet the arrival rate, which
+is exactly the back-pressure behaviour a micro-batching queue wants.
+
+``enabled=False`` keeps the same code path but evaluates each query as
+its own length-1 batch — the A/B control the load-test harness uses to
+measure what coalescing is worth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class MicroBatcher:
+    """Coalescing request queue in front of a batch-evaluate hook.
+
+    Parameters
+    ----------
+    evaluate:
+        ``(queries) -> [payload, ...]`` — must return exactly one result
+        per query, in order. Runs on ``executor`` (never on the loop).
+    window_s:
+        Coalescing window: how long the worker waits after waking before
+        draining the pending list. Zero still coalesces whatever arrived
+        while the previous batch was computing.
+    max_batch:
+        Hard cap per drained batch; the remainder stays pending and is
+        drained immediately after.
+    enabled:
+        ``False`` evaluates each query individually (the A/B control).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[Sequence[object]], List[object]],
+        window_s: float = 0.002,
+        max_batch: int = 256,
+        enabled: bool = True,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._evaluate = evaluate
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.enabled = enabled
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cryowire-model"
+        )
+        self._owns_executor = executor is None
+        self._pending: List[Tuple[object, asyncio.Future]] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._closed = False
+        # -- statistics (single-threaded: only touched on the loop) ----
+        self._n_requests = 0
+        self._n_batches = 0
+        self._n_points = 0
+        self._max_batch_seen = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (call on the event loop)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the drain worker on the running loop."""
+        if self._worker is not None:
+            return
+        self._closed = False
+        self._wake = asyncio.Event()
+        self._worker = asyncio.get_running_loop().create_task(self._drain_loop())
+
+    async def stop(self) -> None:
+        """Stop the worker, failing whatever is still pending."""
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        for _, future in self._pending:
+            if not future.done():
+                future.set_exception(RuntimeError("batcher stopped"))
+        self._pending.clear()
+        if self._owns_executor:
+            self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, query: object) -> object:
+        """Enqueue one query and await its individual result."""
+        if self._closed:
+            raise RuntimeError("batcher stopped")
+        loop = asyncio.get_running_loop()
+        self._n_requests += 1
+        if not self.enabled:
+            # A/B control: one length-1 evaluation per request, still on
+            # the model executor so the comparison isolates coalescing.
+            results = await loop.run_in_executor(
+                self._executor, self._evaluate, [query]
+            )
+            self._account(1)
+            return results[0]
+        if self._worker is None:
+            self.start()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((query, future))
+        self._wake.set()
+        return await future
+
+    # ------------------------------------------------------------------
+    # the drain worker
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._closed:
+            await self._wake.wait()
+            self._wake.clear()
+            if self.window_s > 0:
+                # The coalescing window: requests arriving during this
+                # sleep (and during the executor call below) join the
+                # next drained batch.
+                await asyncio.sleep(self.window_s)
+            while self._pending:
+                chunk = self._pending[: self.max_batch]
+                del self._pending[: len(chunk)]
+                queries = [q for q, _ in chunk]
+                try:
+                    results = await loop.run_in_executor(
+                        self._executor, self._evaluate, queries
+                    )
+                    if len(results) != len(queries):
+                        raise RuntimeError(
+                            f"evaluate returned {len(results)} results "
+                            f"for {len(queries)} queries"
+                        )
+                except Exception as exc:  # noqa: BLE001 - fan the failure out
+                    for _, future in chunk:
+                        if not future.done():
+                            future.set_exception(exc)
+                    continue
+                self._account(len(queries))
+                for (_, future), result in zip(chunk, results):
+                    if not future.done():
+                        future.set_result(result)
+
+    def _account(self, batch_size: int) -> None:
+        self._n_batches += 1
+        self._n_points += batch_size
+        self._max_batch_seen = max(self._max_batch_seen, batch_size)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Coalescing effectiveness counters.
+
+        ``coalescing_rate`` is the fraction of requests that rode along
+        in someone else's batch (``1 - batches/points``): 0 when every
+        request paid its own evaluate call, approaching 1 as batches
+        grow. The load test asserts this is non-zero under concurrency.
+        """
+        coalesced = self._n_points - self._n_batches
+        return {
+            "enabled": self.enabled,
+            "window_s": self.window_s,
+            "max_batch": self.max_batch,
+            "requests": self._n_requests,
+            "batches": self._n_batches,
+            "points": self._n_points,
+            "max_batch_seen": self._max_batch_seen,
+            "mean_batch_size": (
+                self._n_points / self._n_batches if self._n_batches else 0.0
+            ),
+            "coalescing_rate": (
+                coalesced / self._n_points if self._n_points else 0.0
+            ),
+        }
+
+
+#: Type of the evaluate hook (documentation only; kept loose at runtime).
+EvaluateHook = Callable[[Sequence[object]], Awaitable[List[object]]]

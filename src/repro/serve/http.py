@@ -1,0 +1,148 @@
+"""A minimal asyncio HTTP/1.1 layer for ``cryowire serve``.
+
+Just enough protocol for a JSON API — request-line/header parsing,
+``Content-Length`` bodies, keep-alive, structured JSON error responses —
+on stdlib ``asyncio`` streams alone (the repo takes no framework
+dependency for one service). Not a general-purpose server: no chunked
+encoding, no TLS, no pipelining guarantees beyond serial keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Reject bodies beyond this size (a grid request is a few kB; anything
+#: megabyte-scale is a mistake or an attack).
+MAX_BODY_BYTES = 1_000_000
+MAX_HEADER_BYTES = 16_384
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or request-level failure with a structured payload."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def to_payload(self) -> Dict:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict:
+        """The body parsed as JSON (empty body parses as ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, "invalid_json", f"body is not JSON: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated_request", "connection closed mid-headers")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "headers_too_large", "request headers too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers_too_large", "request headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed_request_line", f"cannot parse {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "malformed_header", f"cannot parse header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed_header", "Content-Length is not a number")
+        if length < 0:
+            raise HttpError(400, "malformed_header", "Content-Length is negative")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(
+                    400, "truncated_request", "connection closed mid-body"
+                )
+    elif "transfer-encoding" in headers:
+        raise HttpError(
+            400, "unsupported_encoding", "chunked request bodies are not supported"
+        )
+    # Strip any query string; the API carries parameters in JSON bodies.
+    path = target.split("?", 1)[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int, payload: Dict, keep_alive: bool = True
+) -> bytes:
+    """Serialise a JSON response (Content-Length framed)."""
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict,
+    keep_alive: bool = True,
+) -> None:
+    writer.write(render_response(status, payload, keep_alive))
+    await writer.drain()
+
+
+def wants_keep_alive(request: Request) -> bool:
+    return request.headers.get("connection", "keep-alive").lower() != "close"
+
+
+Route = Tuple[str, str]  # (method, path)

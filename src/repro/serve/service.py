@@ -1,0 +1,702 @@
+"""ModelService: the protocol-free domain layer behind ``cryowire serve``.
+
+Everything HTTP-shaped lives in :mod:`repro.serve.http` /
+:mod:`repro.serve.app`; this module answers model questions against
+plain Python values so it can be tested (and reused) without a socket:
+
+* :meth:`ModelService.evaluate_points` — the micro-batcher's evaluate
+  hook. It receives whatever concurrent :class:`PointQuery` requests the
+  batcher coalesced, regroups them into one
+  :class:`~repro.tech.batch.OperatingPointBatch` per device card, and
+  feeds the vectorized kernels. Because the scalar entry points are
+  length-1 batch wrappers (the repo's scalar/batch parity invariant),
+  the numbers a client reads over HTTP are bit-identical to direct
+  library calls.
+* :meth:`ModelService.evaluate_grid` — dense sweeps in one request.
+* :meth:`ModelService.evaluate_ipc` — system-level workload evaluation
+  on the named Table 4 configurations.
+* :meth:`ModelService.run_experiment` — registry experiments through
+  the (cached, guarded, leak-bounded) execution engine.
+
+Failure isolation: one bad point must not poison the coalesced batch it
+happens to share with unrelated requests. Queries are pre-screened with
+the guard layer's domain validator, and if a grouped batch still raises
+(card-resolved overdrive collapse, say — invisible until the card's
+nominal voltages are substituted), the group is retried point-by-point
+through the scalar kernels so only the offending queries fail.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.engine import (
+    ExecutionEngine,
+    LeakedThreadLimit,
+    check_leak_budget,
+    leaked_thread_count,
+)
+from repro.experiments.registry import get_spec, iter_specs
+from repro.system.config import (
+    BASELINE_300K_MESH,
+    CHP_77K_CRYOBUS,
+    CHP_77K_MESH,
+    CRYOSP_77K_CRYOBUS,
+    CRYOSP_77K_CRYOBUS_2WAY,
+    CRYOSP_77K_MESH,
+    SystemConfig,
+)
+from repro.system.multicore import MulticoreSystem, WorkloadResult
+from repro.tech.batch import OperatingPointBatch
+from repro.tech.context import TechContext
+from repro.tech.mosfet import DEVICE_CARDS, cryo_mosfet
+from repro.tech.operating_point import OperatingPoint
+from repro.tech.wire import CryoWireModel
+from repro.util.guards import (
+    ERROR,
+    GuardContext,
+    use_guards,
+    validate_operating_point,
+    validate_operating_point_batch,
+)
+from repro.workloads.profiles import by_name as workload_by_name
+
+#: The Table 4 systems addressable over the API, by URL-safe slug.
+SERVED_SYSTEMS: Dict[str, SystemConfig] = {
+    "baseline_300k_mesh": BASELINE_300K_MESH,
+    "chp_77k_mesh": CHP_77K_MESH,
+    "cryosp_77k_mesh": CRYOSP_77K_MESH,
+    "chp_77k_cryobus": CHP_77K_CRYOBUS,
+    "cryosp_77k_cryobus": CRYOSP_77K_CRYOBUS,
+    "cryosp_77k_cryobus_2way": CRYOSP_77K_CRYOBUS_2WAY,
+}
+
+
+class QueryError(ValueError):
+    """A request the service understood but cannot answer.
+
+    ``status`` is the HTTP status the transport should map it to;
+    ``code`` is the stable machine-readable discriminator clients
+    switch on.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int = 422,
+        warnings: Optional[List[Dict]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+        self.warnings: List[Dict] = list(warnings or [])
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {"code": self.code, "message": str(self)}
+        if self.warnings:
+            payload["warnings"] = self.warnings
+        return payload
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """An optional wire to evaluate alongside a point query."""
+
+    layer: str
+    length_um: float
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """One model query: an operating point, a device card, maybe a wire."""
+
+    op: OperatingPoint
+    card_name: str = "freepdk45"
+    wire: Optional[WireSpec] = None
+
+
+def _op_payload(op: OperatingPoint) -> Dict:
+    return {
+        "temperature_k": op.temperature_k,
+        "vdd_v": op.vdd_v,
+        "vth_v": op.vth_v,
+    }
+
+
+def parse_operating_point(data: Dict) -> OperatingPoint:
+    """Build an :class:`OperatingPoint` from a request payload.
+
+    Constructor rejections (``vdd <= vth``, non-positive voltages …)
+    surface as a structured :class:`QueryError` rather than a bare 500.
+    """
+    if not isinstance(data, dict):
+        raise QueryError(
+            "invalid_operating_point",
+            "operating_point must be an object with temperature_k "
+            "(and optional vdd_v / vth_v)",
+        )
+    if "temperature_k" not in data:
+        raise QueryError(
+            "invalid_operating_point", "operating_point.temperature_k is required"
+        )
+    unknown = set(data) - {"temperature_k", "vdd_v", "vth_v", "name"}
+    if unknown:
+        raise QueryError(
+            "invalid_operating_point",
+            f"unknown operating_point field(s): {', '.join(sorted(unknown))}",
+        )
+    try:
+        return OperatingPoint.at(
+            float(data["temperature_k"]),
+            None if data.get("vdd_v") is None else float(data["vdd_v"]),
+            None if data.get("vth_v") is None else float(data["vth_v"]),
+            name=str(data.get("name", "")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise QueryError("invalid_operating_point", str(exc)) from None
+
+
+def parse_point_query(data: Dict) -> PointQuery:
+    """Build a :class:`PointQuery` from a ``/v1/query`` request body."""
+    if not isinstance(data, dict):
+        raise QueryError("invalid_request", "request body must be a JSON object")
+    unknown = set(data) - {"operating_point", "card", "wire"}
+    if unknown:
+        raise QueryError(
+            "invalid_request",
+            f"unknown field(s): {', '.join(sorted(unknown))}",
+        )
+    op = parse_operating_point(data.get("operating_point", {}))
+    card_name = data.get("card", "freepdk45")
+    if card_name not in DEVICE_CARDS:
+        raise QueryError(
+            "unknown_card",
+            f"unknown device card {card_name!r}; "
+            f"available: {', '.join(sorted(DEVICE_CARDS))}",
+        )
+    wire = None
+    wire_data = data.get("wire")
+    if wire_data is not None:
+        if not isinstance(wire_data, dict) or "layer" not in wire_data or (
+            "length_um" not in wire_data
+        ):
+            raise QueryError(
+                "invalid_wire", "wire must be {layer, length_um}"
+            )
+        try:
+            wire = WireSpec(
+                layer=str(wire_data["layer"]),
+                length_um=float(wire_data["length_um"]),
+            )
+        except (TypeError, ValueError) as exc:
+            raise QueryError("invalid_wire", str(exc)) from None
+        if wire.length_um <= 0:
+            raise QueryError("invalid_wire", "wire.length_um must be positive")
+    return PointQuery(op=op, card_name=card_name, wire=wire)
+
+
+@dataclass
+class _ServiceCounters:
+    """Request/outcome tallies (mutated under the service lock)."""
+
+    point_queries: int = 0
+    point_errors: int = 0
+    scalar_fallbacks: int = 0
+    grid_queries: int = 0
+    ipc_queries: int = 0
+    experiment_runs: int = 0
+    guard_counts: Counter = field(default_factory=Counter)
+
+
+class ModelService:
+    """The serve layer's single shared model stack.
+
+    Owns the warm :class:`~repro.tech.context.TechContext` (size-capped:
+    a long-running process must not grow its memo store without bound),
+    the :class:`~repro.tech.wire.CryoWireModel`, the per-configuration
+    :class:`~repro.system.multicore.MulticoreSystem` instances and a
+    serial :class:`~repro.experiments.engine.ExecutionEngine`.
+
+    Thread-safety: the tech context locks internally; everything else
+    this class mutates sits behind ``self._lock``. Model evaluation is
+    expected to run on the app's dedicated executor threads, but nothing
+    here assumes a particular caller thread.
+    """
+
+    def __init__(
+        self,
+        max_cache_entries: Optional[int] = 4096,
+        leak_threshold: int = 32,
+        use_result_cache: bool = False,
+    ) -> None:
+        self.context = TechContext(max_entries=max_cache_entries)
+        self.wire_model = CryoWireModel()
+        self.leak_threshold = leak_threshold
+        self.engine = ExecutionEngine(
+            jobs=1,
+            use_cache=use_result_cache,
+            retries=0,
+            leak_threshold=leak_threshold,
+        )
+        self._systems: Dict[str, MulticoreSystem] = {}
+        self._lock = threading.Lock()
+        self._counters = _ServiceCounters()
+
+    # ------------------------------------------------------------------
+    # point queries (the micro-batcher's evaluate hook)
+    # ------------------------------------------------------------------
+    def evaluate_points(self, queries: Sequence[PointQuery]) -> List[Dict]:
+        """Evaluate a coalesced batch of point queries.
+
+        Returns one payload per query, in order: ``{"ok": True, ...}``
+        or ``{"ok": False, "error": {...}}`` — a per-point verdict, so
+        the transport can answer each coalesced request independently.
+        """
+        with self._lock:
+            self._counters.point_queries += len(queries)
+        results: List[Optional[Dict]] = [None] * len(queries)
+        screened: List[int] = []
+        for i, query in enumerate(queries):
+            findings = self._screen(query.op)
+            errors = [f for f in findings if f["severity"] == ERROR]
+            if errors:
+                results[i] = {
+                    "ok": False,
+                    "error": {
+                        "code": "invalid_operating_point",
+                        "message": errors[0]["message"],
+                        "warnings": findings,
+                    },
+                }
+            else:
+                screened.append(i)
+        by_card: Dict[str, List[int]] = {}
+        for i in screened:
+            by_card.setdefault(queries[i].card_name, []).append(i)
+        for card_name, indices in by_card.items():
+            group = [queries[i] for i in indices]
+            try:
+                payloads = self._evaluate_card_group(card_name, group)
+            except ValueError:
+                # One poisoned point (e.g. card-resolved overdrive below
+                # the validity floor) fails the whole vectorized call;
+                # retry the group through the scalar kernels so only the
+                # offending queries error. Scalar kernels are length-1
+                # batch wrappers, so the numbers do not change.
+                with self._lock:
+                    self._counters.scalar_fallbacks += 1
+                payloads = [self._evaluate_one_scalar(q) for q in group]
+            for i, payload in zip(indices, payloads):
+                results[i] = payload
+        n_errors = sum(1 for r in results if r is not None and not r["ok"])
+        with self._lock:
+            self._counters.point_errors += n_errors
+        return [r for r in results if r is not None]
+
+    def _screen(self, op: OperatingPoint, tally: bool = True) -> List[Dict]:
+        """Domain findings for one point, tallied into the service stats.
+
+        Uses a fresh (non-ambient) guard context so concurrently served
+        requests never see each other's warnings. ``tally=False`` for
+        re-serializations of an already-counted point (response
+        assembly), so the stats count each query's findings once.
+        """
+        guards = GuardContext()
+        validate_operating_point(op, site="serve.query", guards=guards)
+        if tally:
+            self._absorb(guards)
+        return guards.to_dicts()
+
+    def _absorb(self, guards: GuardContext) -> None:
+        with self._lock:
+            self._counters.guard_counts.update(
+                {k: v for k, v in guards.counts().items() if v}
+            )
+
+    def _evaluate_card_group(
+        self, card_name: str, group: Sequence[PointQuery]
+    ) -> List[Dict]:
+        """Vectorized evaluation of same-card queries (may raise)."""
+        mosfet = self._mosfet(card_name)
+        batch = OperatingPointBatch.from_points([q.op for q in group])
+        with use_guards(GuardContext()) as guards:
+            gate_delay = mosfet.gate_delay_factor_batch(batch)
+            leakage = mosfet.leakage_factor_batch(batch)
+            vth_eff = mosfet.effective_vth_batch(batch)
+            wire_payloads = self._evaluate_wires_batch(batch, group)
+        self._absorb(guards)
+        payloads = []
+        for i, query in enumerate(group):
+            payloads.append(
+                self._point_payload(
+                    query,
+                    gate_delay_factor=float(gate_delay[i]),
+                    leakage_factor=float(leakage[i]),
+                    effective_vth_v=float(vth_eff[i]),
+                    wire=wire_payloads[i],
+                )
+            )
+        return payloads
+
+    def _evaluate_wires_batch(
+        self, batch: OperatingPointBatch, group: Sequence[PointQuery]
+    ) -> List[Optional[Dict]]:
+        """Wire metrics for the queries that asked for them, per layer."""
+        wires: List[Optional[Dict]] = [None] * len(group)
+        by_layer: Dict[str, List[int]] = {}
+        for i, query in enumerate(group):
+            if query.wire is not None:
+                by_layer.setdefault(query.wire.layer, []).append(i)
+        for layer, indices in by_layer.items():
+            optimizer = self._optimizer(layer)
+            lengths = [group[i].wire.length_um for i in indices]
+            design = optimizer.optimize_batch(lengths, batch[indices])
+            for j, i in enumerate(indices):
+                wires[i] = self._wire_payload(group[i].wire, design[j])
+        return wires
+
+    def _evaluate_one_scalar(self, query: PointQuery) -> Dict:
+        """Scalar-path evaluation of a single query (the fallback)."""
+        mosfet = self._mosfet(query.card_name)
+        try:
+            with use_guards(GuardContext()) as guards:
+                gate_delay = mosfet.gate_delay_factor(query.op)
+                leakage = mosfet.leakage_factor(query.op)
+                vth_eff = mosfet.effective_vth(query.op)
+                wire = None
+                if query.wire is not None:
+                    design = self._optimizer(query.wire.layer).optimize(
+                        query.wire.length_um, query.op
+                    )
+                    wire = self._wire_payload(query.wire, design)
+            self._absorb(guards)
+        except ValueError as exc:
+            return {
+                "ok": False,
+                "error": {
+                    "code": "model_domain_error",
+                    "message": str(exc),
+                    "warnings": self._screen(query.op, tally=False),
+                },
+            }
+        return self._point_payload(
+            query,
+            gate_delay_factor=gate_delay,
+            leakage_factor=leakage,
+            effective_vth_v=vth_eff,
+            wire=wire,
+        )
+
+    def _point_payload(
+        self,
+        query: PointQuery,
+        gate_delay_factor: float,
+        leakage_factor: float,
+        effective_vth_v: float,
+        wire: Optional[Dict],
+    ) -> Dict:
+        return {
+            "ok": True,
+            "card": query.card_name,
+            "operating_point": _op_payload(query.op),
+            "metrics": {
+                "gate_delay_factor": gate_delay_factor,
+                "delay_speedup": 1.0 / gate_delay_factor,
+                "leakage_factor": leakage_factor,
+                "effective_vth_v": effective_vth_v,
+                "is_cryogenic": query.op.is_cryogenic,
+            },
+            "wire": wire,
+            "warnings": self._screen(query.op, tally=False),
+        }
+
+    @staticmethod
+    def _wire_payload(spec: WireSpec, design) -> Dict:
+        return {
+            "layer": spec.layer,
+            "length_um": spec.length_um,
+            "delay_ns": float(design.delay_ns),
+            "n_repeaters": int(design.n_repeaters),
+            "repeater_size": float(design.repeater_size),
+        }
+
+    def _mosfet(self, card_name: str):
+        try:
+            card = DEVICE_CARDS[card_name]
+        except KeyError:
+            raise QueryError(
+                "unknown_card",
+                f"unknown device card {card_name!r}; "
+                f"available: {', '.join(sorted(DEVICE_CARDS))}",
+            ) from None
+        return cryo_mosfet(card)
+
+    def _optimizer(self, layer: str):
+        try:
+            return self.wire_model.optimizer(layer)
+        except KeyError as exc:
+            raise QueryError("unknown_layer", str(exc.args[0])) from None
+
+    # ------------------------------------------------------------------
+    # grid queries
+    # ------------------------------------------------------------------
+    def evaluate_grid(self, data: Dict) -> Dict:
+        """Evaluate a dense grid in one vectorized pass.
+
+        The request carries either aligned columns (``mode="aligned"``,
+        the default) or axes to take the Cartesian product of
+        (``mode="product"``). The response carries the resolved point
+        columns plus one metric array per kernel.
+        """
+        if not isinstance(data, dict):
+            raise QueryError("invalid_request", "request body must be a JSON object")
+        unknown = set(data) - {"card", "mode", "temperature_k", "vdd_v", "vth_v"}
+        if unknown:
+            raise QueryError(
+                "invalid_request",
+                f"unknown field(s): {', '.join(sorted(unknown))}",
+            )
+        card_name = data.get("card", "freepdk45")
+        mosfet = self._mosfet(card_name)
+        mode = data.get("mode", "aligned")
+        if mode not in ("aligned", "product"):
+            raise QueryError("invalid_request", "mode must be 'aligned' or 'product'")
+        if "temperature_k" not in data:
+            raise QueryError("invalid_request", "temperature_k is required")
+        try:
+            if mode == "product":
+                batch = OperatingPointBatch.product(
+                    _as_list(data["temperature_k"]),
+                    _as_optional_list(data.get("vdd_v")),
+                    _as_optional_list(data.get("vth_v")),
+                )
+            else:
+                batch = OperatingPointBatch.from_grid(
+                    data["temperature_k"], data.get("vdd_v"), data.get("vth_v")
+                )
+        except (TypeError, ValueError) as exc:
+            raise QueryError("invalid_grid", str(exc)) from None
+        guards = GuardContext()
+        findings = validate_operating_point_batch(
+            batch, site="serve.grid", guards=guards
+        )
+        self._absorb(guards)
+        if any(f.severity == ERROR for f in findings):
+            first = next(f for f in findings if f.severity == ERROR)
+            raise QueryError(
+                "invalid_grid", first.message, warnings=guards.to_dicts()
+            )
+        with self._lock:
+            self._counters.grid_queries += 1
+        try:
+            with use_guards(GuardContext()) as compute_guards:
+                gate_delay = mosfet.gate_delay_factor_batch(batch)
+                leakage = mosfet.leakage_factor_batch(batch)
+                vth_eff = mosfet.effective_vth_batch(batch)
+        except ValueError as exc:
+            raise QueryError(
+                "model_domain_error", str(exc), warnings=guards.to_dicts()
+            ) from None
+        self._absorb(compute_guards)
+        return {
+            "card": card_name,
+            "n": len(batch),
+            "points": batch.to_columns(),
+            "metrics": {
+                "gate_delay_factor": [float(x) for x in gate_delay],
+                "delay_speedup": [float(1.0 / x) for x in gate_delay],
+                "leakage_factor": [float(x) for x in leakage],
+                "effective_vth_v": [float(x) for x in vth_eff],
+            },
+            "warnings": guards.to_dicts(),
+        }
+
+    # ------------------------------------------------------------------
+    # system-level (IPC) queries
+    # ------------------------------------------------------------------
+    def evaluate_ipc(self, data: Dict) -> Dict:
+        """Evaluate one workload on one named Table 4 system."""
+        if not isinstance(data, dict):
+            raise QueryError("invalid_request", "request body must be a JSON object")
+        unknown = set(data) - {"system", "workload"}
+        if unknown:
+            raise QueryError(
+                "invalid_request",
+                f"unknown field(s): {', '.join(sorted(unknown))}",
+            )
+        system_name = data.get("system")
+        workload_name = data.get("workload")
+        if system_name not in SERVED_SYSTEMS:
+            raise QueryError(
+                "unknown_system",
+                f"unknown system {system_name!r}; "
+                f"available: {', '.join(sorted(SERVED_SYSTEMS))}",
+            )
+        try:
+            profile = workload_by_name(str(workload_name))
+        except KeyError as exc:
+            raise QueryError("unknown_workload", str(exc.args[0])) from None
+        with self._lock:
+            self._counters.ipc_queries += 1
+            system = self._systems.get(system_name)
+            if system is None:
+                system = MulticoreSystem(SERVED_SYSTEMS[system_name])
+                self._systems[system_name] = system
+        with use_guards(GuardContext()) as guards:
+            result = system.evaluate(profile)
+        self._absorb(guards)
+        return self._ipc_payload(system_name, result, guards.to_dicts())
+
+    @staticmethod
+    def _ipc_payload(
+        system_slug: str, result: WorkloadResult, warnings: List[Dict]
+    ) -> Dict:
+        convergence = result.convergence
+        return {
+            "system": system_slug,
+            "system_name": result.system_name,
+            "workload": result.workload_name,
+            "ipc": result.ipc,
+            "frequency_ghz": result.frequency_ghz,
+            "cpi_stack": {
+                name: getattr(result.cpi_stack, name)
+                for name in (
+                    "core",
+                    "branch",
+                    "private_cache",
+                    "noc",
+                    "shared_cache",
+                    "dram",
+                    "sync",
+                )
+            },
+            "convergence": {
+                "converged": convergence.converged,
+                "residual": convergence.residual,
+            }
+            if convergence is not None
+            else None,
+            "warnings": warnings,
+        }
+
+    # ------------------------------------------------------------------
+    # experiments
+    # ------------------------------------------------------------------
+    def run_experiment(self, data: Dict) -> Dict:
+        """Run one registry experiment through the execution engine.
+
+        Refuses (``503``-shaped :class:`QueryError`) once the worker has
+        accumulated too many leaked timeout threads — the serve-side
+        symptom of the engine bug this PR fixes.
+        """
+        if not isinstance(data, dict):
+            raise QueryError("invalid_request", "request body must be a JSON object")
+        unknown = set(data) - {"experiment", "kwargs"}
+        if unknown:
+            raise QueryError(
+                "invalid_request",
+                f"unknown field(s): {', '.join(sorted(unknown))}",
+            )
+        experiment_id = data.get("experiment")
+        if not isinstance(experiment_id, str):
+            raise QueryError("invalid_request", "experiment (string) is required")
+        try:
+            get_spec(experiment_id)
+        except KeyError as exc:
+            raise QueryError("unknown_experiment", str(exc.args[0])) from None
+        kwargs = data.get("kwargs", {})
+        if not isinstance(kwargs, dict):
+            raise QueryError("invalid_request", "kwargs must be an object")
+        try:
+            check_leak_budget(self.leak_threshold)
+        except LeakedThreadLimit as exc:
+            raise QueryError("leaked_thread_limit", str(exc), status=503) from None
+        with self._lock:
+            self._counters.experiment_runs += 1
+        try:
+            result = self.engine.run_one(experiment_id, **kwargs)
+        except QueryError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced as structured 422
+            raise QueryError(
+                "experiment_failed", f"{type(exc).__name__}: {exc}"
+            ) from None
+        return {"result": result.to_dict(), "leaked_threads": leaked_thread_count()}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe_cards(self) -> Dict:
+        return {
+            "cards": {
+                name: {
+                    "vdd_nominal_v": card.vdd_nominal_v,
+                    "vth_nominal_v": card.vth_nominal_v,
+                    "drive_speedup_77": card.drive_speedup_77,
+                    "vth_shift_77": card.vth_shift_77,
+                }
+                for name, card in sorted(DEVICE_CARDS.items())
+            },
+            "wire_layers": sorted(self.wire_model.stack.layers),
+            "systems": {
+                slug: config.name for slug, config in sorted(SERVED_SYSTEMS.items())
+            },
+        }
+
+    def describe_experiments(self) -> Dict:
+        return {
+            "experiments": [
+                {
+                    "id": spec.experiment_id,
+                    "cost": spec.cost,
+                    "section": spec.section,
+                    "tags": list(spec.tags),
+                }
+                for spec in iter_specs()
+            ]
+        }
+
+    def stats(self) -> Dict:
+        """Service-level statistics (merged into ``GET /stats``)."""
+        cache = self.context.stats()
+        with self._lock:
+            counters = self._counters
+            payload = {
+                "requests": {
+                    "point_queries": counters.point_queries,
+                    "point_errors": counters.point_errors,
+                    "scalar_fallbacks": counters.scalar_fallbacks,
+                    "grid_queries": counters.grid_queries,
+                    "ipc_queries": counters.ipc_queries,
+                    "experiment_runs": counters.experiment_runs,
+                },
+                "guards": dict(counters.guard_counts),
+            }
+        payload["tech_context"] = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": cache.hit_rate,
+            "entries": cache.entries,
+            "evictions": cache.evictions,
+            "max_entries": cache.max_entries,
+        }
+        payload["engine"] = {"leaked_threads": leaked_thread_count()}
+        return payload
+
+
+def _as_list(value) -> list:
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def _as_optional_list(value) -> list:
+    if value is None:
+        return [None]
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]

@@ -57,6 +57,8 @@ from repro.tech.resistivity import (
 from repro.tech.mosfet import (
     CryoMOSFET,
     MOSFETCard,
+    CRYO_LOWVTH_CARD,
+    DEVICE_CARDS,
     FREEPDK45_CARD,
     INDUSTRY_2Z_CARD,
     cryo_mosfet,
@@ -100,6 +102,8 @@ __all__ = [
     "CryoResistivityModel",
     "CryoMOSFET",
     "MOSFETCard",
+    "CRYO_LOWVTH_CARD",
+    "DEVICE_CARDS",
     "FREEPDK45_CARD",
     "INDUSTRY_2Z_CARD",
     "RepeaterDesign",

@@ -212,6 +212,18 @@ class OperatingPointBatch:
         """The scalar points of this batch (auto-named, names not kept)."""
         return list(self)
 
+    def to_columns(self) -> dict:
+        """Plain-data columns (``None`` for card-nominal voltages).
+
+        The JSON-serializable rendering the serve layer puts in grid
+        responses; round-trips through ``from_grid`` exactly.
+        """
+        return {
+            "temperature_k": [float(t) for t in self.temperature_k],
+            "vdd_v": [_nan_to_none(v) for v in self.vdd_v],
+            "vth_v": [_nan_to_none(v) for v in self.vth_v],
+        }
+
     # ------------------------------------------------------------------
     # identity
     # ------------------------------------------------------------------

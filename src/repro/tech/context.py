@@ -20,16 +20,33 @@ changes for callers, warm evaluations just get faster. For control:
   which every evaluation is recomputed from scratch (the equivalence
   tests use this to show memoized results are bit-identical).
 
-The context is deliberately process-local: the parallel experiment
-engine fans out *processes*, each of which warms its own context.
+The context is process-local but **thread-safe**: the parallel
+experiment engine fans out *processes*, each of which warms its own
+context, while ``cryowire serve`` fans out *threads* over one shared
+context — an internal lock keeps the store and the hit/miss counters
+consistent under concurrent lookups. (No single-flight: two threads
+missing the same key may both compute; the first store wins and both
+receive the stored value, so warm lookups still hand back one shared
+object.)
+
+Long-running owners (the serve layer) construct the context with
+``max_entries`` set, turning the unbounded memo store into a size-capped
+LRU: the least-recently-used entry is evicted once the cap is exceeded,
+with per-family eviction counters surfaced through :meth:`stats`. The
+default stays unbounded — batch CLI runs are finite and re-keying churn
+would only slow them down.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import threading
+from collections import Counter, OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterator, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
+
+#: Sentinel distinguishing "key absent" from a stored ``None``.
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -42,6 +59,10 @@ class CacheStats:
     #: Per-family ``(hits, misses)``; the family is the first element of
     #: every memoization key (e.g. ``"repeater_opt"``, ``"gate_delay"``).
     families: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Entries dropped by the LRU cap (0 for unbounded contexts).
+    evictions: int = 0
+    #: The LRU cap itself (``None`` = unbounded).
+    max_entries: Optional[int] = None
 
     @property
     def lookups(self) -> int:
@@ -52,9 +73,11 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def to_text(self) -> str:
+        cap = f", cap {self.max_entries}" if self.max_entries is not None else ""
         lines = [
             f"tech context: {self.hits} hits / {self.misses} misses "
-            f"({self.hit_rate:.1%} hit rate, {self.entries} entries)"
+            f"({self.hit_rate:.1%} hit rate, {self.entries} entries, "
+            f"{self.evictions} evictions{cap})"
         ]
         for family in sorted(self.families):
             hits, misses = self.families[family]
@@ -71,11 +94,19 @@ class TechContext:
     rather than object identities.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self.enabled = enabled
-        self._store: Dict[Hashable, Any] = {}
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._hits: Counter = Counter()
         self._misses: Counter = Counter()
+        self._evictions: Counter = Counter()
+        # Guards the store and every counter: concurrent lookups (the
+        # serve layer's worker threads) must neither tear the dict nor
+        # double-count stats. The compute itself runs outside the lock.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def memo(self, key: Tuple, compute: Callable[[], Any]) -> Any:
@@ -84,18 +115,36 @@ class TechContext:
         ``key[0]`` names the cache family for the per-family counters.
         A disabled context always recomputes and counts every lookup as
         a miss (so cold/uncached measurements are still observable).
+
+        Thread-safe, without single-flight: concurrent misses on the
+        same key may compute twice, but exactly one value is stored and
+        every caller receives that stored value.
         """
         family = key[0]
         if not self.enabled:
-            self._misses[family] += 1
+            with self._lock:
+                self._misses[family] += 1
             return compute()
-        try:
-            value = self._store[key]
-        except KeyError:
+        with self._lock:
+            value = self._store.get(key, _MISSING)
+            if value is not _MISSING:
+                self._hits[family] += 1
+                if self.max_entries is not None:
+                    self._store.move_to_end(key)
+                return value
             self._misses[family] += 1
-            value = self._store[key] = compute()
-        else:
-            self._hits[family] += 1
+        value = compute()
+        with self._lock:
+            stored = self._store.get(key, _MISSING)
+            if stored is not _MISSING:
+                # A concurrent thread computed and stored first; serve
+                # its value so warm lookups keep sharing one object.
+                return stored
+            self._store[key] = value
+            if self.max_entries is not None:
+                while len(self._store) > self.max_entries:
+                    evicted, _ = self._store.popitem(last=False)
+                    self._evictions[evicted[0]] += 1
         return value
 
     def memo_array(self, key: Tuple, compute: Callable[[], Any]) -> Any:
@@ -124,26 +173,35 @@ class TechContext:
     def misses(self) -> int:
         return sum(self._misses.values())
 
+    @property
+    def evictions(self) -> int:
+        return sum(self._evictions.values())
+
     def __len__(self) -> int:
         return len(self._store)
 
     def stats(self) -> CacheStats:
-        families = {
-            family: (self._hits.get(family, 0), self._misses.get(family, 0))
-            for family in set(self._hits) | set(self._misses)
-        }
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            entries=len(self._store),
-            families=families,
-        )
+        with self._lock:
+            families = {
+                family: (self._hits.get(family, 0), self._misses.get(family, 0))
+                for family in set(self._hits) | set(self._misses)
+            }
+            return CacheStats(
+                hits=sum(self._hits.values()),
+                misses=sum(self._misses.values()),
+                entries=len(self._store),
+                families=families,
+                evictions=sum(self._evictions.values()),
+                max_entries=self.max_entries,
+            )
 
     def clear(self) -> None:
         """Drop every cached entry and reset the counters."""
-        self._store.clear()
-        self._hits.clear()
-        self._misses.clear()
+        with self._lock:
+            self._store.clear()
+            self._hits.clear()
+            self._misses.clear()
+            self._evictions.clear()
 
 
 # ----------------------------------------------------------------------

@@ -366,3 +366,30 @@ INDUSTRY_2Z_CARD = MOSFETCard(
     drive_speedup_77=2.40,
     vth_shift_77=0.03,
 )
+
+#: Cryo-optimized low-threshold device ("Optimized Cryo-CMOS Technology
+#: with VTH<0.2V and Ion>1.2mA/um", arXiv:2411.03099): a process tuned
+#: *for* 77 K operation rather than derated from a 300 K card — V_th
+#: held below 0.2 V with a strong drive at a reduced rail. Deliberately
+#: **not** the default anywhere: with so little threshold headroom,
+#: moderate V_dd scaling walks straight into the drive model's overdrive
+#: floor, so queries against this card are the ones that exercise the
+#: guard layer (overdrive warnings, domain errors) under load.
+CRYO_LOWVTH_CARD = MOSFETCard(
+    name="cryo_lowvth",
+    vdd_nominal_v=0.65,
+    vth_nominal_v=0.18,
+    overdrive_exponent_300=1.0,
+    overdrive_exponent_77=0.75,
+    drive_speedup_77=1.90,
+    vth_shift_77=0.015,
+    # A cryo-optimized junction keeps a steeper subthreshold slope, which
+    # is what makes VTH<0.2V tolerable at 77 K in the first place.
+    ideality=1.25,
+)
+
+#: Device cards addressable by name (the serve layer's query surface).
+DEVICE_CARDS: dict = {
+    card.name: card
+    for card in (FREEPDK45_CARD, INDUSTRY_2Z_CARD, CRYO_LOWVTH_CARD)
+}

@@ -213,6 +213,14 @@ class GuardContext:
     def warnings(self) -> Tuple[ModelWarning, ...]:
         return tuple(self._records)
 
+    def to_dicts(self) -> List[Dict]:
+        """The recorded warnings as plain-data payloads.
+
+        What run manifests, experiment results and serve responses
+        carry — ``ModelWarning.to_dict()`` per stored record.
+        """
+        return [warning.to_dict() for warning in self._records]
+
     def counts(self) -> Dict[str, int]:
         return dict(self._counts)
 

@@ -5,6 +5,7 @@ import importlib.util
 import json
 import logging
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -17,7 +18,11 @@ from repro.experiments.engine import (
     DEFAULT_TIMEOUT_S,
     ExecutionEngine,
     ExperimentExecutionError,
+    LeakedThreadLimit,
     RunManifest,
+    RunRecord,
+    check_leak_budget,
+    leaked_thread_count,
     load_last_manifest,
     run_experiments,
 )
@@ -178,6 +183,43 @@ class TestResultCache:
         cache.put("b", _sample_result())
         assert cache.clear() == 2
         assert cache.entry_count() == 0
+
+    def test_clear_purges_quarantine(self, tmp_path):
+        """Quarantined corpses must not outlive ``clear`` — a cleared
+        cache that still carries corrupt/ files reports stale
+        ``quarantined_count`` forever."""
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("good", _sample_result())
+        cache.put("bad", _sample_result())
+        (tmp_path / "cache" / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None  # quarantines bad.json
+        assert cache.quarantined_count() == 1
+        assert cache.clear() == 2  # the live entry plus the quarantined one
+        assert cache.entry_count() == 0
+        assert cache.quarantined_count() == 0
+        assert not list((tmp_path / "cache" / "corrupt").glob("*.json"))
+
+    def test_put_fsyncs_before_publishing(self, tmp_path, monkeypatch):
+        """``put`` must flush to disk *before* the atomic rename makes
+        the entry visible — otherwise a power cut can publish a torn
+        entry under its final name."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("abc123", _sample_result())
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
 
 
 class TestEngine:
@@ -446,3 +488,128 @@ class TestCliFlags:
         capsys.readouterr()
         assert main(["stats"] + cache_flags) == 0
         assert "2 hits" in capsys.readouterr().out
+
+
+class TestLeakedThreadTracking:
+    """The timeout path's leaked daemon threads: tracked, bounded, drained.
+
+    Every test that provokes a leak gates the sleeping driver on an
+    event and drains it before returning, so the process-wide gauge is
+    back to zero for whoever runs next (the serve tests assert on it).
+    """
+
+    @staticmethod
+    def _drain(stop_event, deadline_s=10.0):
+        stop_event.set()
+        deadline = time.monotonic() + deadline_s
+        while leaked_thread_count() > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert leaked_thread_count() == 0, "leaked driver thread failed to drain"
+
+    def test_timeout_registers_a_leaked_thread(self):
+        stop = threading.Event()
+
+        @experiment("_engine_test_leak_sleeper")
+        def _runner():
+            stop.wait(30.0)
+            result = ExperimentResult("_engine_test_leak_sleeper", "t", ("k", "v"))
+            result.add_row("x", 1.0)
+            return result
+
+        engine = ExecutionEngine(jobs=1, use_cache=False, timeout_s=0.1, retries=0)
+        try:
+            with pytest.raises(ExperimentExecutionError, match="wall-clock"):
+                engine.run_one("_engine_test_leak_sleeper")
+            assert leaked_thread_count() >= 1
+        finally:
+            self._drain(stop)
+            _SPECS.pop("_engine_test_leak_sleeper", None)
+
+    def test_check_leak_budget_thresholds(self):
+        stop = threading.Event()
+
+        @experiment("_engine_test_leak_budget")
+        def _runner():
+            stop.wait(30.0)
+            result = ExperimentResult("_engine_test_leak_budget", "t", ("k", "v"))
+            result.add_row("x", 1.0)
+            return result
+
+        engine = ExecutionEngine(jobs=1, use_cache=False, timeout_s=0.1, retries=0)
+        try:
+            with pytest.raises(ExperimentExecutionError):
+                engine.run_one("_engine_test_leak_budget")
+            # One live leak: a budget of 1 is spent, 0 disables the check.
+            with pytest.raises(LeakedThreadLimit, match="refusing new submissions"):
+                check_leak_budget(1)
+            check_leak_budget(0)
+            check_leak_budget(leaked_thread_count() + 1)
+        finally:
+            self._drain(stop)
+            _SPECS.pop("_engine_test_leak_budget", None)
+        check_leak_budget(1)  # drained: the budget is free again
+
+    def test_engine_refuses_submissions_past_the_leak_threshold(self):
+        stop = threading.Event()
+
+        @experiment("_engine_test_leak_refuse_sleeper")
+        def _sleeper():
+            stop.wait(30.0)
+            result = ExperimentResult(
+                "_engine_test_leak_refuse_sleeper", "t", ("k", "v")
+            )
+            result.add_row("x", 1.0)
+            return result
+
+        @experiment("_engine_test_leak_refuse_victim")
+        def _victim():
+            result = ExperimentResult(
+                "_engine_test_leak_refuse_victim", "t", ("k", "v")
+            )
+            result.add_row("x", 1.0)
+            return result
+
+        try:
+            leaky = ExecutionEngine(
+                jobs=1, use_cache=False, timeout_s=0.1, retries=0, leak_threshold=0
+            )
+            with pytest.raises(ExperimentExecutionError):
+                leaky.run_one("_engine_test_leak_refuse_sleeper")
+            assert leaked_thread_count() >= 1
+
+            bounded = ExecutionEngine(
+                jobs=1, use_cache=False, retries=0, leak_threshold=1
+            )
+            with pytest.raises(ExperimentExecutionError, match="LeakedThreadLimit"):
+                bounded.run_one("_engine_test_leak_refuse_victim")
+
+            # The same submission sails through once the threshold allows it
+            # (the refusal is the budget, not the experiment).
+            tolerant = ExecutionEngine(
+                jobs=1, use_cache=False, retries=0, leak_threshold=0
+            )
+            result = tolerant.run_one("_engine_test_leak_refuse_victim")
+            assert result.rows == [("x", 1.0)]
+        finally:
+            self._drain(stop)
+            _SPECS.pop("_engine_test_leak_refuse_sleeper", None)
+            _SPECS.pop("_engine_test_leak_refuse_victim", None)
+
+    def test_engine_rejects_negative_leak_threshold(self):
+        with pytest.raises(ValueError, match="leak_threshold"):
+            ExecutionEngine(jobs=1, leak_threshold=-1)
+
+    def test_manifest_rolls_up_leaks_per_worker(self):
+        """Records carry a per-worker gauge; the manifest total is the
+        max per pid summed over pids, not the sum over records."""
+        manifest = RunManifest(jobs=2, cache_dir="", cache_enabled=False)
+        manifest.records = [
+            RunRecord("a", "miss", worker_pid=100, leaked_threads=1),
+            RunRecord("b", "miss", worker_pid=100, leaked_threads=3),
+            RunRecord("c", "miss", worker_pid=200, leaked_threads=2),
+            RunRecord("d", "hit", worker_pid=200, leaked_threads=0),
+        ]
+        assert manifest.n_leaked_threads == 5
+        assert manifest.to_dict()["totals"]["leaked_threads"] == 5
+        revived = RunRecord.from_dict(manifest.records[1].to_dict())
+        assert revived.leaked_threads == 3

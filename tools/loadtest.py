@@ -1,0 +1,428 @@
+"""Load-test harness for ``cryowire serve``.
+
+Replays a synthetic query stream against a running server (or one it
+boots itself with ``--self-host``) and reports the numbers that matter
+for a long-running model service:
+
+* **diurnal replay** — an open-loop, paced phase whose request rate
+  follows a sinusoidal day/night profile compressed into the test
+  duration (quiet troughs, busy peaks). Per-request latencies give the
+  p50/p99; the server's ``/stats`` gives the warm-context hit rate and
+  the micro-batcher's coalescing rate.
+* **A/B throughput** (``--self-host`` only) — closed-loop clients hammer
+  a batching-enabled server and a batching-disabled twin with the same
+  query mix; the ratio is what micro-batching is worth. The queries all
+  carry a wire spec (a repeater optimisation per point), so the control
+  pays a real model evaluation per request rather than a dict lookup.
+
+Usage::
+
+    python tools/loadtest.py --self-host --duration 8
+    python tools/loadtest.py --url http://127.0.0.1:8077 --duration 10
+    python tools/loadtest.py --self-host --bench-file BENCH_serve.json
+
+``--require-coalescing`` exits non-zero unless the batcher actually
+coalesced (CI's regression tripwire); ``--bench-file`` appends the run
+to a trajectory JSON (the ``BENCH_serve.json`` idiom).
+
+Stdlib only — ``http.client`` with one keep-alive connection per client
+thread, no external load-generation dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+#: The query mix draws operating points from the calibrated domain.
+TEMPERATURE_RANGE_K = (77.0, 300.0)
+VDD_RANGE_V = (0.6, 1.25)
+VTH_V = 0.25
+WIRE_LENGTHS_UM = (500.0, 2000.0, 6220.0)
+CARDS = ("freepdk45", "industry_2z")
+
+#: Repeated grids in the diurnal mix (dashboards re-requesting the same
+#: sweep — the warm-context story).
+GRID_TEMPERATURES = ([77.0, 135.0, 200.0, 250.0, 300.0], [77.0, 300.0])
+
+
+def _connect(url: str) -> http.client.HTTPConnection:
+    parts = urlsplit(url)
+    return http.client.HTTPConnection(parts.hostname, parts.port, timeout=30)
+
+
+def _post(
+    conn: http.client.HTTPConnection, path: str, payload: Dict
+) -> Tuple[int, Dict]:
+    body = json.dumps(payload).encode("utf-8")
+    conn.request(
+        "POST", path, body=body, headers={"Content-Type": "application/json"}
+    )
+    response = conn.getresponse()
+    data = response.read()
+    return response.status, json.loads(data)
+
+
+def _get(conn: http.client.HTTPConnection, path: str) -> Dict:
+    conn.request("GET", path)
+    response = conn.getresponse()
+    return json.loads(response.read())
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def make_point_query(rng: random.Random, fresh: bool = True) -> Dict:
+    """One synthetic ``/v1/query`` body (fresh = continuum-random point)."""
+    t = rng.uniform(*TEMPERATURE_RANGE_K)
+    vdd = rng.uniform(*VDD_RANGE_V)
+    if not fresh:
+        # A finite pool of revisited points (scalar-memo hits possible).
+        t = round(t, 0)
+        vdd = round(vdd, 1)
+    return {
+        "operating_point": {
+            "temperature_k": t,
+            "vdd_v": max(vdd, VTH_V + 0.1),
+            "vth_v": VTH_V,
+        },
+        "card": rng.choice(CARDS),
+        "wire": {
+            "layer": "global",
+            "length_um": rng.choice(WIRE_LENGTHS_UM),
+        },
+    }
+
+
+def make_grid_query(rng: random.Random) -> Dict:
+    """A repeated dashboard-style grid (warms the whole-batch memo)."""
+    return {
+        "temperature_k": rng.choice(GRID_TEMPERATURES),
+        "vdd_v": 0.64,
+        "vth_v": 0.25,
+        "card": "freepdk45",
+    }
+
+
+def diurnal_rate(t_s: float, duration_s: float, peak_rps: float) -> float:
+    """Sinusoidal day/night request rate: trough at the ends, peak mid."""
+    phase = 2.0 * math.pi * (t_s / duration_s)
+    # 0.15 floor keeps the night-time trough non-zero (a real service
+    # never goes fully silent) while the peak reaches peak_rps.
+    return peak_rps * (0.15 + 0.85 * 0.5 * (1.0 - math.cos(phase)))
+
+
+def run_diurnal_phase(
+    url: str,
+    duration_s: float,
+    clients: int,
+    peak_rps: float,
+    seed: int,
+) -> Dict:
+    """Open-loop paced replay following the diurnal profile."""
+    rng = random.Random(seed)
+    # Pre-build the arrival schedule by integrating the rate curve in
+    # small ticks (fractional arrivals accumulate across ticks).
+    tick_s = 0.02
+    schedule: List[Tuple[float, str, Dict]] = []
+    credit = 0.0
+    t = 0.0
+    while t < duration_s:
+        credit += diurnal_rate(t, duration_s, peak_rps) * tick_s
+        while credit >= 1.0:
+            credit -= 1.0
+            if rng.random() < 0.1:
+                schedule.append((t, "/v1/grid", make_grid_query(rng)))
+            else:
+                schedule.append(
+                    (t, "/v1/query", make_point_query(rng, fresh=rng.random() < 0.5))
+                )
+        t += tick_s
+    queue_lock = threading.Lock()
+    cursor = [0]
+    latencies: List[float] = []
+    errors = [0]
+    start = time.monotonic()
+
+    def worker() -> None:
+        conn = _connect(url)
+        try:
+            while True:
+                with queue_lock:
+                    if cursor[0] >= len(schedule):
+                        return
+                    send_at, path, payload = schedule[cursor[0]]
+                    cursor[0] += 1
+                delay = start + send_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                t0 = time.monotonic()
+                try:
+                    status, _ = _post(conn, path, payload)
+                except (http.client.HTTPException, OSError):
+                    conn.close()
+                    conn = _connect(url)
+                    status = 599
+                elapsed = time.monotonic() - t0
+                with queue_lock:
+                    if status == 200:
+                        latencies.append(elapsed)
+                    else:
+                        errors[0] += 1
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadtest-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - start
+    latencies.sort()
+    return {
+        "requests": len(schedule),
+        "completed": len(latencies),
+        "errors": errors[0],
+        "wall_s": round(wall, 3),
+        "offered_peak_rps": peak_rps,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "throughput_rps": round(len(latencies) / wall, 1) if wall > 0 else 0.0,
+    }
+
+
+def run_closed_loop(
+    url: str, duration_s: float, clients: int, seed: int
+) -> float:
+    """Closed-loop hammer: returns completed requests per second."""
+    stop_at = time.monotonic() + duration_s
+    counts: List[int] = []
+    lock = threading.Lock()
+
+    def worker(worker_seed: int) -> None:
+        rng = random.Random(worker_seed)
+        conn = _connect(url)
+        n = 0
+        try:
+            while time.monotonic() < stop_at:
+                try:
+                    status, _ = _post(
+                        conn, "/v1/query", make_point_query(rng, fresh=True)
+                    )
+                except (http.client.HTTPException, OSError):
+                    conn.close()
+                    conn = _connect(url)
+                    continue
+                if status == 200:
+                    n += 1
+        finally:
+            conn.close()
+            with lock:
+                counts.append(n)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed + i,), daemon=True)
+        for i in range(clients)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - start
+    return sum(counts) / wall if wall > 0 else 0.0
+
+
+def fetch_stats(url: str) -> Dict:
+    conn = _connect(url)
+    try:
+        return _get(conn, "/stats")
+    finally:
+        conn.close()
+
+
+def run_loadtest(
+    url: Optional[str] = None,
+    duration_s: float = 8.0,
+    clients: int = 8,
+    peak_rps: float = 150.0,
+    seed: int = 7,
+    window_ms: float = 2.0,
+    ab: bool = True,
+) -> Dict:
+    """The full harness; returns the report dict.
+
+    With ``url=None`` the server is booted in-process (self-host); the
+    A/B phase only runs self-hosted (it needs a batching-disabled twin).
+    """
+    report: Dict = {
+        "duration_s": duration_s,
+        "clients": clients,
+        "window_ms": window_ms,
+    }
+    own_server = url is None
+    handle = None
+    if own_server:
+        from repro.serve import serve_in_thread
+
+        handle = serve_in_thread(window_s=window_ms / 1000.0)
+        url = handle.url
+    try:
+        report["diurnal"] = run_diurnal_phase(
+            url, duration_s, clients, peak_rps, seed
+        )
+        stats = fetch_stats(url)
+        report["batching"] = stats["batching"]
+        report["tech_context"] = stats["tech_context"]
+        report["coalescing_rate"] = stats["batching"]["coalescing_rate"]
+        report["cache_hit_rate"] = stats["tech_context"]["hit_rate"]
+    finally:
+        if handle is not None:
+            handle.stop()
+    if ab and own_server:
+        # The A/B contrast needs enough closed-loop concurrency for
+        # batches to actually form; the paced diurnal client count is a
+        # latency story, not a throughput one.
+        report["ab"] = run_ab_phase(
+            duration_s=min(duration_s / 2.0, 5.0),
+            clients=max(clients, 16),
+            seed=seed,
+            window_ms=window_ms,
+        )
+    return report
+
+
+def run_ab_phase(
+    duration_s: float, clients: int, seed: int, window_ms: float
+) -> Dict:
+    """Throughput with micro-batching on vs off (fresh server each)."""
+    from repro.serve import serve_in_thread
+
+    results = {}
+    for label, enabled in (("batched", True), ("unbatched", False)):
+        handle = serve_in_thread(
+            window_s=window_ms / 1000.0, batching_enabled=enabled
+        )
+        try:
+            results[label] = run_closed_loop(
+                handle.url, duration_s, clients, seed
+            )
+            if enabled:
+                results["batched_stats"] = handle.stats()["batching"]
+        finally:
+            handle.stop()
+    off = results["unbatched"]
+    return {
+        "batched_rps": round(results["batched"], 1),
+        "unbatched_rps": round(off, 1),
+        "speedup": round(results["batched"] / off, 2) if off > 0 else 0.0,
+        "batched_coalescing_rate": results["batched_stats"]["coalescing_rate"],
+        "batched_mean_batch": results["batched_stats"]["mean_batch_size"],
+    }
+
+
+def append_trajectory(path: Path, report: Dict) -> None:
+    """Append this run to the ``BENCH_serve.json`` trajectory file."""
+    if path.exists():
+        data = json.loads(path.read_text())
+    else:
+        data = {"bench": "serve_loadtest", "history": []}
+    entry = {
+        "p50_ms": report["diurnal"]["p50_ms"],
+        "p99_ms": report["diurnal"]["p99_ms"],
+        "throughput_rps": report["diurnal"]["throughput_rps"],
+        "coalescing_rate": round(report["coalescing_rate"], 3),
+        "cache_hit_rate": round(report["cache_hit_rate"], 3),
+    }
+    if "ab" in report:
+        entry["ab_speedup"] = report["ab"]["speedup"]
+        entry["batched_rps"] = report["ab"]["batched_rps"]
+        entry["unbatched_rps"] = report["ab"]["unbatched_rps"]
+    data["history"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay a diurnal synthetic query stream against cryowire serve."
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="server base URL (e.g. http://127.0.0.1:8077); omit with --self-host",
+    )
+    parser.add_argument(
+        "--self-host",
+        action="store_true",
+        help="boot the server in-process (required for the A/B phase)",
+    )
+    parser.add_argument("--duration", type=float, default=8.0, metavar="S")
+    parser.add_argument("--clients", type=int, default=8, metavar="N")
+    parser.add_argument(
+        "--peak-rps", type=float, default=150.0, metavar="RPS",
+        help="diurnal peak request rate (default 150)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--window-ms", type=float, default=2.0, metavar="MS",
+        help="self-hosted server's coalescing window (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-ab", action="store_true", help="skip the A/B throughput phase"
+    )
+    parser.add_argument(
+        "--bench-file", default=None, metavar="PATH",
+        help="append the run to this trajectory JSON (BENCH_serve.json idiom)",
+    )
+    parser.add_argument(
+        "--require-coalescing",
+        action="store_true",
+        help="exit non-zero unless the micro-batcher coalesced at least "
+        "one batch (CI tripwire)",
+    )
+    args = parser.parse_args(argv)
+    if args.url is None and not args.self_host:
+        parser.error("pass --url or --self-host")
+    if args.url is not None and args.self_host:
+        parser.error("--url and --self-host are mutually exclusive")
+    report = run_loadtest(
+        url=args.url,
+        duration_s=args.duration,
+        clients=args.clients,
+        peak_rps=args.peak_rps,
+        seed=args.seed,
+        window_ms=args.window_ms,
+        ab=not args.no_ab,
+    )
+    print(json.dumps(report, indent=2))
+    if args.bench_file:
+        append_trajectory(Path(args.bench_file), report)
+        print(f"appended trajectory to {args.bench_file}", file=sys.stderr)
+    if args.require_coalescing and report["coalescing_rate"] <= 0.0:
+        print(
+            "FAIL: micro-batcher never coalesced "
+            f"(rate {report['coalescing_rate']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
