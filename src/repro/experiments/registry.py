@@ -175,6 +175,7 @@ from repro.experiments import (  # noqa: E402,F401  (imported for registration)
     fig25,
     fig26,
     fig27,
+    stage_assignment,
     table1,
     table3,
     table4,

@@ -18,6 +18,7 @@ fraction is anchored so the 77 K overhead matches the measured 9.65
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.tech.constants import T_LN2, T_ROOM
 
@@ -27,6 +28,15 @@ COOLING_OVERHEAD_77K = 9.65
 
 #: Ambient the coolers reject heat into.
 T_AMBIENT = T_ROOM
+
+#: Measured cooling-overhead anchors, by stage temperature. Wherever a
+#: cryostat stage sits exactly on an anchor, the measured machine wins
+#: over the Carnot-fraction model — today that is only the 77 K Stinger
+#: number, but a 4 K pulse-tube measurement would slot in here.
+MEASURED_COOLING_OVERHEADS: Dict[float, float] = {T_LN2: COOLING_OVERHEAD_77K}
+
+#: Match window for the measured-anchor lookup (kelvin).
+_ANCHOR_TOL_K = 1e-9
 
 
 def carnot_cooling_overhead(
@@ -51,6 +61,32 @@ def carnot_cooling_overhead(
     return carnot_co / carnot_fraction
 
 
+def cooling_overhead(
+    temperature_k: float,
+    *,
+    carnot_fraction: float = 0.30,
+    t_ambient_k: float = T_AMBIENT,
+    measured: Optional[Dict[float, float]] = None,
+) -> float:
+    """Per-stage cooling overhead CO(T): the thermal layer's provider.
+
+    Stages sitting exactly on a measured anchor (the 77 K Stinger value
+    by default) get the measured machine's overhead; everywhere else the
+    cooler runs at ``carnot_fraction`` of the Carnot limit. This is the
+    generalization of :class:`CoolingModel`'s pinning rule that
+    :class:`repro.thermal.stage.ThermalStage` evaluates per stage.
+    """
+    table = MEASURED_COOLING_OVERHEADS if measured is None else measured
+    for anchor_k, anchor_co in table.items():
+        if abs(temperature_k - anchor_k) < _ANCHOR_TOL_K:
+            if temperature_k >= t_ambient_k:
+                break
+            return anchor_co
+    return carnot_cooling_overhead(
+        temperature_k, carnot_fraction=carnot_fraction, t_ambient_k=t_ambient_k
+    )
+
+
 @dataclass(frozen=True)
 class CoolingModel:
     """Total-power accounting for a device at one temperature."""
@@ -62,9 +98,7 @@ class CoolingModel:
     @property
     def overhead(self) -> float:
         """CO at this model's temperature."""
-        if abs(self.temperature_k - T_LN2) < 1e-9:
-            return COOLING_OVERHEAD_77K
-        return carnot_cooling_overhead(
+        return cooling_overhead(
             self.temperature_k, carnot_fraction=self.carnot_fraction
         )
 

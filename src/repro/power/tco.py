@@ -35,6 +35,7 @@ from repro.pipeline.config import (
 from repro.power.cooling import carnot_cooling_overhead
 from repro.power.mcpat import CorePowerModel
 from repro.tech.constants import T_LN2, T_ROOM
+from repro.util.guards import warn
 
 #: Amortised cryo-cooler capital per watt of lifted heat, expressed as a
 #: fraction of the yearly electricity cost of that same watt. The paper
@@ -46,6 +47,24 @@ LN2_INVENTORY_FACTOR = 0.02
 
 
 def _lerp(at_77: float, at_300: float, temperature_k: float) -> float:
+    """Endpoint interpolation, *clamped* to the [77, 300] K anchors.
+
+    The endpoints are model evaluations at 77 K and 300 K; outside them
+    linear extrapolation of performance or rail voltages is fiction, so
+    the value is clamped to the nearer endpoint and a structured
+    :class:`~repro.util.guards.ModelWarning` goes through the guard
+    layer instead of silently extrapolating.
+    """
+    if temperature_k < T_LN2 or temperature_k > T_ROOM:
+        clamped = min(max(temperature_k, T_LN2), T_ROOM)
+        warn(
+            "tco.lerp",
+            f"temperature {temperature_k:g} K outside the interpolated "
+            f"[{T_LN2:g}, {T_ROOM:g}] K endpoints; clamped to "
+            f"{clamped:g} K instead of extrapolating the endpoint values",
+            op=(temperature_k, None, None),
+        )
+        temperature_k = clamped
     fraction = (T_ROOM - temperature_k) / (T_ROOM - T_LN2)
     return at_300 + (at_77 - at_300) * fraction
 
@@ -81,7 +100,20 @@ class TemperaturePoint:
 
     @property
     def total_power_rel(self) -> float:
-        return self.device_power_rel * (1.0 + self.cooling_overhead)
+        """Wall-plug power, priced through the degenerate two-stage cryostat.
+
+        Evaluates :meth:`repro.thermal.Cryostat.two_stage` with this
+        point's already-computed overhead; the ledger arithmetic is
+        bit-identical to the historic ``(1 + CO) * P_dev`` closed form
+        (enforced by ``tests/test_thermal.py``).
+        """
+        from repro.thermal.cryostat import Cryostat  # lazy: power <-> thermal
+
+        return Cryostat.two_stage(
+            self.temperature_k,
+            self.device_power_rel,
+            overhead=self.cooling_overhead,
+        ).wall_plug_w()
 
     @property
     def perf_per_power(self) -> float:
@@ -102,6 +134,23 @@ class TemperaturePoint:
     @property
     def perf_per_tco(self) -> float:
         return self.performance_rel / self.tco_rel
+
+
+def cryostat_tco_w(cryostat) -> float:
+    """TCO rate of an arbitrary cryostat, in watt-equivalents.
+
+    Generalizes :attr:`TemperaturePoint.tco_rel` from the degenerate
+    two-stage world to any :class:`repro.thermal.Cryostat`: the
+    recurring wall-plug bill, plus amortised cryo-cooler capital priced
+    against each stage's cooling power, plus LN2-class inventory priced
+    against the device power parked below ambient.
+    """
+    ledger = cryostat.ledger()
+    capex = COOLER_CAPEX_FACTOR * ledger.cooling_w
+    inventory = LN2_INVENTORY_FACTOR * sum(
+        s.device_w for s in ledger.stages if s.temperature_k < T_ROOM
+    )
+    return ledger.wall_plug_w + capex + inventory
 
 
 class TemperatureOptimizer:

@@ -40,6 +40,7 @@ from repro.serve.http import (
 from repro.serve.service import (
     ModelService,
     QueryError,
+    parse_cryostat_request,
     parse_point_query,
 )
 from repro.tech.context import get_context, set_context
@@ -205,6 +206,23 @@ class CryoWireServer:
             return 200, await loop.run_in_executor(
                 self._experiment_executor, self.service.evaluate_ipc, body
             )
+        if key == ("POST", "/v1/cryostat"):
+            plan = parse_cryostat_request(request.json())
+            payload = await loop.run_in_executor(
+                self._model_executor, self.service.evaluate_cryostat, plan
+            )
+            # Silicon metrics per in-domain stage ride the micro-batched
+            # point path: concurrent stage queries (and any simultaneous
+            # /v1/query traffic) coalesce into one vectorized batch.
+            stage_queries = self.service.stage_point_queries(plan)
+            verdicts = await asyncio.gather(
+                *(self.batcher.submit(q) for q in stage_queries.values())
+            )
+            payload["stage_metrics"] = {
+                name: verdict
+                for name, verdict in zip(stage_queries, verdicts)
+            }
+            return 200, payload
         if key == ("POST", "/v1/experiment"):
             body = request.json()
             return 200, await loop.run_in_executor(
@@ -218,6 +236,7 @@ class CryoWireServer:
             "/v1/query",
             "/v1/grid",
             "/v1/ipc",
+            "/v1/cryostat",
             "/v1/experiment",
         }
         if request.path in known_paths:

@@ -15,6 +15,9 @@ plain Python values so it can be tested (and reused) without a socket:
 * :meth:`ModelService.evaluate_grid` — dense sweeps in one request.
 * :meth:`ModelService.evaluate_ipc` — system-level workload evaluation
   on the named Table 4 configurations.
+* :meth:`ModelService.evaluate_cryostat` — multi-stage cryostat pricing
+  (heat ledger + TCO); the transport layers per-stage silicon metrics on
+  top via the micro-batched point path.
 * :meth:`ModelService.run_experiment` — registry experiments through
   the (cached, guarded, leak-bounded) execution engine.
 
@@ -50,11 +53,23 @@ from repro.system.config import (
     SystemConfig,
 )
 from repro.system.multicore import MulticoreSystem, WorkloadResult
+from repro.power.tco import cryostat_tco_w
 from repro.tech.batch import OperatingPointBatch
+from repro.tech.constants import T_MODEL_MAX, T_MODEL_MIN
 from repro.tech.context import TechContext
 from repro.tech.mosfet import DEVICE_CARDS, cryo_mosfet
 from repro.tech.operating_point import OperatingPoint
 from repro.tech.wire import CryoWireModel
+from repro.thermal import (
+    LINK_KINDS,
+    ComponentPlacement,
+    Cryostat,
+    InterStageLink,
+    ThermalStage,
+    electrical_link,
+    optical_link,
+    standard_stack,
+)
 from repro.util.guards import (
     ERROR,
     GuardContext,
@@ -199,6 +214,195 @@ def parse_point_query(data: Dict) -> PointQuery:
     return PointQuery(op=op, card_name=card_name, wire=wire)
 
 
+@dataclass(frozen=True)
+class CryostatPlan:
+    """A parsed ``/v1/cryostat`` request: the stack plus a device card."""
+
+    cryostat: Cryostat
+    card_name: str = "freepdk45"
+
+
+_STAGE_FIELDS = {"name", "temperature_k", "carnot_fraction", "overhead"}
+_LINK_CARD_FIELDS = {"name", "kind", "hot_stage", "cold_stage", "lanes"}
+_LINK_EXPLICIT_FIELDS = {
+    "name",
+    "kind",
+    "hot_stage",
+    "cold_stage",
+    "conducted_w",
+    "dissipated_w",
+    "hot_side_w",
+    "latency_ns",
+    "bandwidth_gbps",
+}
+_PLACEMENT_FIELDS = {"component", "stage", "device_power_w"}
+
+
+def _parse_stage(data: Dict, index: int) -> ThermalStage:
+    if not isinstance(data, dict) or "name" not in data or (
+        "temperature_k" not in data
+    ):
+        raise QueryError(
+            "invalid_cryostat",
+            f"stages[{index}] must be {{name, temperature_k}} with "
+            "optional carnot_fraction / overhead",
+        )
+    unknown = set(data) - _STAGE_FIELDS
+    if unknown:
+        raise QueryError(
+            "invalid_cryostat",
+            f"stages[{index}]: unknown field(s): {', '.join(sorted(unknown))}",
+        )
+    try:
+        return ThermalStage(
+            name=str(data["name"]),
+            temperature_k=float(data["temperature_k"]),
+            carnot_fraction=float(data.get("carnot_fraction", 0.30)),
+            overhead_override=(
+                None if data.get("overhead") is None else float(data["overhead"])
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise QueryError("invalid_cryostat", f"stages[{index}]: {exc}") from None
+
+
+def _parse_link(data: Dict, index: int) -> InterStageLink:
+    if not isinstance(data, dict):
+        raise QueryError("invalid_cryostat", f"links[{index}] must be an object")
+    missing = {"kind", "hot_stage", "cold_stage"} - set(data)
+    if missing:
+        raise QueryError(
+            "invalid_cryostat",
+            f"links[{index}] needs {', '.join(sorted(missing))}",
+        )
+    kind = str(data["kind"])
+    if kind not in LINK_KINDS:
+        raise QueryError(
+            "invalid_cryostat",
+            f"links[{index}]: kind must be one of "
+            f"{', '.join(sorted(LINK_KINDS))}, got {kind!r}",
+        )
+    explicit = {"conducted_w", "dissipated_w", "hot_side_w"} & set(data)
+    try:
+        if explicit:
+            # Explicit heatload form: the caller prices the wattage.
+            unknown = set(data) - _LINK_EXPLICIT_FIELDS
+            if unknown or "lanes" in data:
+                bad = sorted(unknown | ({"lanes"} & set(data)))
+                raise QueryError(
+                    "invalid_cryostat",
+                    f"links[{index}]: field(s) {', '.join(bad)} do not "
+                    "belong in an explicit-wattage link "
+                    "(lanes and watts are mutually exclusive)",
+                )
+            return InterStageLink(
+                name=str(data.get("name", f"link{index}")),
+                kind=kind,
+                hot_stage=str(data["hot_stage"]),
+                cold_stage=str(data["cold_stage"]),
+                conducted_w=float(data.get("conducted_w", 0.0)),
+                dissipated_w=float(data.get("dissipated_w", 0.0)),
+                hot_side_w=float(data.get("hot_side_w", 0.0)),
+                latency_ns=float(data.get("latency_ns", 0.0)),
+                bandwidth_gbps=float(data.get("bandwidth_gbps", 0.0)),
+            )
+        # Reference-card form: per-lane constants from the thermal layer.
+        unknown = set(data) - _LINK_CARD_FIELDS
+        if unknown:
+            raise QueryError(
+                "invalid_cryostat",
+                f"links[{index}]: unknown field(s): "
+                f"{', '.join(sorted(unknown))}",
+            )
+        make = electrical_link if kind == "electrical" else optical_link
+        return make(
+            str(data["hot_stage"]),
+            str(data["cold_stage"]),
+            lanes=int(data.get("lanes", 1)),
+            name=str(data.get("name", f"link{index}")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise QueryError("invalid_cryostat", f"links[{index}]: {exc}") from None
+
+
+def _parse_placement(data: Dict, index: int) -> ComponentPlacement:
+    if not isinstance(data, dict) or set(data) != _PLACEMENT_FIELDS:
+        raise QueryError(
+            "invalid_cryostat",
+            f"placements[{index}] must be "
+            "{component, stage, device_power_w}",
+        )
+    try:
+        return ComponentPlacement(
+            component=str(data["component"]),
+            stage=str(data["stage"]),
+            device_power_w=float(data["device_power_w"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise QueryError(
+            "invalid_cryostat", f"placements[{index}]: {exc}"
+        ) from None
+
+
+def parse_cryostat_request(data: Dict) -> CryostatPlan:
+    """Build a :class:`CryostatPlan` from a ``/v1/cryostat`` request body.
+
+    ``stages`` defaults to the standard 300/77/4 K stack; ``links`` take
+    either the reference-card form (``{kind, hot_stage, cold_stage,
+    lanes}``, per-lane constants from the thermal layer) or explicit
+    wattage (``conducted_w`` / ``dissipated_w`` / ``hot_side_w``);
+    ``placements`` must place at least one component. Constructor
+    rejections (duplicate stages, links running cold-to-hot, a component
+    placed twice …) surface as structured :class:`QueryError`\\ s.
+    """
+    if not isinstance(data, dict):
+        raise QueryError("invalid_request", "request body must be a JSON object")
+    unknown = set(data) - {"card", "stages", "links", "placements"}
+    if unknown:
+        raise QueryError(
+            "invalid_request",
+            f"unknown field(s): {', '.join(sorted(unknown))}",
+        )
+    card_name = data.get("card", "freepdk45")
+    if card_name not in DEVICE_CARDS:
+        raise QueryError(
+            "unknown_card",
+            f"unknown device card {card_name!r}; "
+            f"available: {', '.join(sorted(DEVICE_CARDS))}",
+        )
+    stages_data = data.get("stages")
+    if stages_data is None:
+        stages = standard_stack(include_4k=True)
+    elif isinstance(stages_data, list) and stages_data:
+        stages = tuple(
+            _parse_stage(stage, i) for i, stage in enumerate(stages_data)
+        )
+    else:
+        raise QueryError(
+            "invalid_cryostat", "stages must be a non-empty array (or omitted)"
+        )
+    links_data = data.get("links", [])
+    if not isinstance(links_data, list):
+        raise QueryError("invalid_cryostat", "links must be an array")
+    links = tuple(_parse_link(link, i) for i, link in enumerate(links_data))
+    placements_data = data.get("placements")
+    if not isinstance(placements_data, list) or not placements_data:
+        raise QueryError(
+            "invalid_cryostat",
+            "placements must be a non-empty array of "
+            "{component, stage, device_power_w}",
+        )
+    placements = tuple(
+        _parse_placement(placement, i)
+        for i, placement in enumerate(placements_data)
+    )
+    try:
+        cryostat = Cryostat(stages, links=links, placements=placements)
+    except ValueError as exc:
+        raise QueryError("invalid_cryostat", str(exc)) from None
+    return CryostatPlan(cryostat=cryostat, card_name=card_name)
+
+
 @dataclass
 class _ServiceCounters:
     """Request/outcome tallies (mutated under the service lock)."""
@@ -208,6 +412,7 @@ class _ServiceCounters:
     scalar_fallbacks: int = 0
     grid_queries: int = 0
     ipc_queries: int = 0
+    cryostat_queries: int = 0
     experiment_runs: int = 0
     guard_counts: Counter = field(default_factory=Counter)
 
@@ -269,6 +474,26 @@ class ModelService:
                     "error": {
                         "code": "invalid_operating_point",
                         "message": errors[0]["message"],
+                        "warnings": findings,
+                    },
+                }
+            elif query.op.temperature_k < T_MODEL_MIN:
+                # Deep-cryogenic points (the guard layer's [2, 60) K
+                # warning tier) are valid *thermal* stages but below the
+                # silicon device models' calibration floor; answer with
+                # a structured verdict instead of letting the point
+                # poison the coalesced batch into the scalar fallback.
+                results[i] = {
+                    "ok": False,
+                    "error": {
+                        "code": "model_domain_error",
+                        "message": (
+                            f"temperature {query.op.temperature_k:g} K is "
+                            f"below the {T_MODEL_MIN:g} K device-model "
+                            "calibration floor; silicon metrics are "
+                            "unavailable there — price the stage through "
+                            "POST /v1/cryostat instead"
+                        ),
                         "warnings": findings,
                     },
                 }
@@ -584,6 +809,62 @@ class ModelService:
         }
 
     # ------------------------------------------------------------------
+    # cryostat queries
+    # ------------------------------------------------------------------
+    def evaluate_cryostat(self, plan: CryostatPlan) -> Dict:
+        """Price one cryostat plan: the heat ledger and the TCO bill.
+
+        Pure thermal accounting — per-stage silicon metrics are layered
+        on by the transport, which routes each in-domain stage through
+        the micro-batched point path (so concurrent cryostat requests
+        coalesce with ordinary ``/v1/query`` traffic).
+        """
+        with self._lock:
+            self._counters.cryostat_queries += 1
+        cryostat = plan.cryostat
+        ledger = cryostat.ledger()
+        return {
+            "card": plan.card_name,
+            "ledger": ledger.to_dict(),
+            "tco_w": cryostat_tco_w(cryostat),
+            "links": [
+                {
+                    "name": link.name,
+                    "kind": link.kind,
+                    "hot_stage": link.hot_stage,
+                    "cold_stage": link.cold_stage,
+                    "cold_heatload_w": link.cold_heatload_w,
+                    "hot_side_w": link.hot_side_w,
+                }
+                for link in cryostat.links
+            ],
+            "placements": [
+                {
+                    "component": placement.component,
+                    "stage": placement.stage,
+                    "device_power_w": placement.device_power_w,
+                }
+                for placement in cryostat.placements
+            ],
+        }
+
+    def stage_point_queries(self, plan: CryostatPlan) -> Dict[str, PointQuery]:
+        """Per-stage silicon point queries for the in-domain stages.
+
+        Stages outside the device models' [60, 400] K calibration window
+        are omitted — the ledger still prices them; they just have no
+        silicon metrics to report.
+        """
+        queries: Dict[str, PointQuery] = {}
+        for stage in plan.cryostat.stages:
+            if T_MODEL_MIN <= stage.temperature_k <= T_MODEL_MAX:
+                queries[stage.name] = PointQuery(
+                    op=OperatingPoint.at(stage.temperature_k, name=stage.name),
+                    card_name=plan.card_name,
+                )
+        return queries
+
+    # ------------------------------------------------------------------
     # experiments
     # ------------------------------------------------------------------
     def run_experiment(self, data: Dict) -> Dict:
@@ -672,6 +953,7 @@ class ModelService:
                     "scalar_fallbacks": counters.scalar_fallbacks,
                     "grid_queries": counters.grid_queries,
                     "ipc_queries": counters.ipc_queries,
+                    "cryostat_queries": counters.cryostat_queries,
                     "experiment_runs": counters.experiment_runs,
                 },
                 "guards": dict(counters.guard_counts),

@@ -26,9 +26,22 @@ DEBYE_TEMPERATURE_CU = 343.0
 #: 1.72e-8 ohm*m == 1.72e-2 ohm*um.
 RHO_CU_300K_OHM_UM = 1.72e-2
 
-#: Lowest temperature at which the models are considered meaningful.  The
-#: Bloch-Grueneisen fit and the MOSFET interpolation are calibrated between
-#: 77 K and 300 K; extrapolating below 60 K silently would be wrong.
+#: The 4 K quantum-controller stage temperature (liquid-helium class),
+#: the cold end of the multi-stage cryostat scenarios (kelvin).
+T_QUANTUM = 4.0
+
+#: Coldest cryostat *stage* the thermal layer models (kelvin). Between
+#: this floor and :data:`T_MODEL_MIN` the cooling/heat-ledger models
+#: apply (Carnot anchoring is still meaningful) but the silicon device
+#: models are uncalibrated — the guard layer describes such points with
+#: a deep-cryogenic calibration-confidence warning instead of an error.
+#: Below it (sub-2 K dilution territory) even the stage model is out.
+T_STAGE_MIN = 2.0
+
+#: Lowest temperature at which the silicon device models are considered
+#: meaningful.  The Bloch-Grueneisen fit and the MOSFET interpolation are
+#: calibrated between 77 K and 300 K; extrapolating below 60 K silently
+#: would be wrong.
 T_MODEL_MIN = 60.0
 
 #: Highest supported temperature (the models are not meant for hot silicon).

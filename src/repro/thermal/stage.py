@@ -1,0 +1,200 @@
+"""Thermal stages and inter-stage links of a multi-stage cryostat.
+
+The paper's cooling model (Eq. 1/2) prices a *single* cold plate:
+``P_total = (1 + CO) * P_dev`` with CO = 9.65 measured at 77 K. A real
+cryogenic system is a stack of temperature stages — the 300 K machine
+room, a 77 K LN2 plate, a 4 K helium stage next to the qubits — each
+with its own refrigerator running at some fraction of the Carnot limit,
+and each charged for every watt that *arrives* at it, whether that watt
+was dissipated by a component living there or conducted down a cable
+from a warmer stage.
+
+This module holds the two leaf concepts:
+
+* :class:`ThermalStage` — one temperature plateau and its cooling
+  efficiency, evaluated through the per-stage overhead provider
+  :func:`repro.power.cooling.cooling_overhead` (measured anchors pinned,
+  Carnot-derated elsewhere);
+* :class:`InterStageLink` — a signal path crossing a stage boundary.
+  An electrical cable conducts heat into the cold stage it lands on and
+  dissipates its termination/receiver power there; an optical link
+  (the CO-QLink alternative) conducts almost nothing but spends laser
+  and modulator power on the warm side and detector power on the cold
+  side, at its own latency/bandwidth point.
+
+The reference per-lane numbers below are synthesized from published
+cryostat wiring tables (stainless/CuNi coax heat loads per line into a
+4 K stage) and cryogenic photonic-link papers; like the workload
+profiles they are inputs, not measurements — see docs/ARCHITECTURE.md
+("thermal/") for the sources and the heat-ledger data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.power.cooling import cooling_overhead
+from repro.tech.constants import T_QUANTUM, T_ROOM
+
+#: Link kinds the ledger understands.
+ELECTRICAL = "electrical"
+OPTICAL = "optical"
+LINK_KINDS = (ELECTRICAL, OPTICAL)
+
+
+@dataclass(frozen=True)
+class ThermalStage:
+    """One temperature plateau of the cryostat and its cooler.
+
+    ``carnot_fraction`` is the cooler's efficiency as a fraction of the
+    Carnot limit (real 77 K LN2 plants run near 30 %; 4 K pulse-tube /
+    GM machines are an order of magnitude worse). ``overhead_override``
+    pins the overhead to an explicit measured value, bypassing both the
+    Carnot model and the measured-anchor table.
+    """
+
+    name: str
+    temperature_k: float
+    carnot_fraction: float = 0.30
+    overhead_override: Optional[float] = None
+    t_ambient_k: float = T_ROOM
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage needs a name")
+        if not (self.temperature_k > 0.0):
+            raise ValueError(f"{self.name}: temperature must be positive")
+        if not (0.0 < self.carnot_fraction <= 1.0):
+            raise ValueError(f"{self.name}: carnot_fraction must lie in (0, 1]")
+        if self.overhead_override is not None and self.overhead_override < 0.0:
+            raise ValueError(f"{self.name}: overhead_override must be >= 0")
+
+    @property
+    def cooling_overhead(self) -> float:
+        """CO of this stage: watts of cooler input per watt lifted."""
+        if self.overhead_override is not None:
+            return self.overhead_override
+        return cooling_overhead(
+            self.temperature_k,
+            carnot_fraction=self.carnot_fraction,
+            t_ambient_k=self.t_ambient_k,
+        )
+
+    @property
+    def is_ambient(self) -> bool:
+        return self.temperature_k >= self.t_ambient_k
+
+
+@dataclass(frozen=True)
+class InterStageLink:
+    """One signal path crossing from a warmer stage to a colder one.
+
+    Heat accounting follows the cryostat wiring convention: everything
+    the link deposits on the cold side — passive conduction down the
+    cable plus active dissipation in the cold-side termination /
+    receiver — is charged to the cold stage's cooler (``conducted_w`` +
+    ``dissipated_w``); drive power spent on the warm side
+    (``hot_side_w``) is ordinary device power of the hot stage.
+    """
+
+    name: str
+    kind: str
+    hot_stage: str
+    cold_stage: str
+    #: Passive heat conducted down the physical medium into the cold stage (W).
+    conducted_w: float
+    #: Active signalling power dissipated at the cold end (W).
+    dissipated_w: float
+    #: Drive/transceiver power spent at the hot end (W).
+    hot_side_w: float = 0.0
+    latency_ns: float = 0.0
+    bandwidth_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in LINK_KINDS:
+            raise ValueError(
+                f"{self.name}: kind must be one of {LINK_KINDS}, got {self.kind!r}"
+            )
+        if self.hot_stage == self.cold_stage:
+            raise ValueError(f"{self.name}: link must cross two distinct stages")
+        if min(self.conducted_w, self.dissipated_w, self.hot_side_w) < 0.0:
+            raise ValueError(f"{self.name}: link powers must be >= 0")
+        if self.latency_ns < 0.0 or self.bandwidth_gbps < 0.0:
+            raise ValueError(f"{self.name}: latency/bandwidth must be >= 0")
+
+    @property
+    def cold_heatload_w(self) -> float:
+        """Total heat this link lands on the cold stage (W)."""
+        return self.conducted_w + self.dissipated_w
+
+
+# -- reference per-lane link cards -------------------------------------------
+
+#: Electrical lane: stainless/CuNi coax into a 4 K-class stage. ~1 mW
+#: conducted per line, ~2 mW cold-side termination, ~5 mW warm driver.
+_ELECTRICAL_CONDUCTED_W = 1.0e-3
+_ELECTRICAL_DISSIPATED_W = 2.0e-3
+_ELECTRICAL_HOT_SIDE_W = 5.0e-3
+_ELECTRICAL_LATENCY_NS = 2.5  # ~0.5 m of coax
+_ELECTRICAL_BANDWIDTH_GBPS = 10.0
+
+#: Optical lane (CO-QLink-style): fiber conducts ~10 uW, the cold
+#: photodetector dissipates ~0.5 mW, the warm laser + modulator ~25 mW.
+_OPTICAL_CONDUCTED_W = 1.0e-5
+_OPTICAL_DISSIPATED_W = 5.0e-4
+_OPTICAL_HOT_SIDE_W = 2.5e-2
+_OPTICAL_LATENCY_NS = 2.5  # same physical span; fiber n ~ glass
+_OPTICAL_BANDWIDTH_GBPS = 25.0
+
+
+def electrical_link(
+    hot_stage: str, cold_stage: str, lanes: int = 1, name: str = ""
+) -> InterStageLink:
+    """A ``lanes``-wide coax bundle between two stages (reference card)."""
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    return InterStageLink(
+        name=name or f"{hot_stage}->{cold_stage} coax x{lanes}",
+        kind=ELECTRICAL,
+        hot_stage=hot_stage,
+        cold_stage=cold_stage,
+        conducted_w=_ELECTRICAL_CONDUCTED_W * lanes,
+        dissipated_w=_ELECTRICAL_DISSIPATED_W * lanes,
+        hot_side_w=_ELECTRICAL_HOT_SIDE_W * lanes,
+        latency_ns=_ELECTRICAL_LATENCY_NS,
+        bandwidth_gbps=_ELECTRICAL_BANDWIDTH_GBPS * lanes,
+    )
+
+
+def optical_link(
+    hot_stage: str, cold_stage: str, lanes: int = 1, name: str = ""
+) -> InterStageLink:
+    """A ``lanes``-wide photonic bundle between two stages (reference card)."""
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    return InterStageLink(
+        name=name or f"{hot_stage}->{cold_stage} fiber x{lanes}",
+        kind=OPTICAL,
+        hot_stage=hot_stage,
+        cold_stage=cold_stage,
+        conducted_w=_OPTICAL_CONDUCTED_W * lanes,
+        dissipated_w=_OPTICAL_DISSIPATED_W * lanes,
+        hot_side_w=_OPTICAL_HOT_SIDE_W * lanes,
+        latency_ns=_OPTICAL_LATENCY_NS,
+        bandwidth_gbps=_OPTICAL_BANDWIDTH_GBPS * lanes,
+    )
+
+
+# -- reference stages --------------------------------------------------------
+
+#: The machine room: no active cooling, CO = 0.
+STAGE_300K = ThermalStage("300K", T_ROOM)
+
+#: The paper's LN2 plate; the measured-anchor table pins CO to 9.65.
+STAGE_77K = ThermalStage("77K", 77.0)
+
+#: A liquid-helium-class stage for the quantum-controller scenario.
+#: Real 4 K pulse-tube/GM machines run near 1 % of Carnot, i.e.
+#: thousands of watts at the wall per watt lifted.
+STAGE_4K = ThermalStage("4K", T_QUANTUM, carnot_fraction=0.01)

@@ -26,10 +26,15 @@ Domain bounds mirror :mod:`repro.tech.constants` (this module sits below
 the tech layer and must not import it; ``tests/test_guards.py`` asserts
 the mirrored values stay in sync):
 
-* hard validity range ``[60, 400] K`` — outside it the resistivity and
-  MOSFET models raise, so a point there is an *error*;
+* hard validity range ``[2, 400] K`` — outside it not even the thermal
+  stage model applies, so a point there is an *error*;
+* device-model floor ``60 K`` — the resistivity and MOSFET models raise
+  below it; points in ``[2, 60) K`` are the deep-cryogenic cryostat
+  stage domain (the 4 K quantum-controller scenario): modeled by the
+  thermal layer, described with a *distinct calibration-confidence
+  warning tier* rather than an out-of-range error;
 * calibration anchors ``[77, 300] K`` — between them the models
-  interpolate measured behaviour; outside (but inside the hard range)
+  interpolate measured behaviour; outside (but inside the device range)
   they extrapolate, which is a *warning*;
 * electrical sanity ``vdd > vth > 0`` with at least the drive model's
   0.05 V overdrive floor.
@@ -66,12 +71,21 @@ _RANK = {INFO: 0, WARNING: 1, ERROR: 2}
 
 # -- domain bounds (mirrors of the tech-layer calibration constants) ---------
 
-#: Hard model validity range; mirrors ``repro.tech.constants.T_MODEL_MIN/MAX``.
+#: Hard *device-model* validity range; mirrors
+#: ``repro.tech.constants.T_MODEL_MIN/MAX``. The silicon models
+#: (resistivity, MOSFET, DRAM timing) raise outside it.
 T_HARD_MIN_K = 60.0
 T_HARD_MAX_K = 400.0
 #: Calibration anchors; mirrors ``repro.tech.constants.T_LN2/T_ROOM``.
 T_CALIBRATED_MIN_K = 77.0
 T_CALIBRATED_MAX_K = 300.0
+#: Deep-cryogenic stage floor; mirrors ``repro.tech.constants.T_STAGE_MIN``.
+#: Between it and :data:`T_HARD_MIN_K` lies the multi-stage cryostat
+#: domain (the 4 K quantum-controller stage): the thermal/cooling models
+#: apply, the device models do not — a *distinct* calibration-confidence
+#: warning tier rather than an out-of-range error. Below the floor is an
+#: error again.
+T_DEEP_CRYO_MIN_K = 2.0
 #: Overdrive floor; mirrors ``repro.tech.mosfet.MIN_OVERDRIVE_V``.
 MIN_OVERDRIVE_V = 0.05
 #: Longest wire that still plausibly lives on one die (10 cm; the paper's
@@ -367,11 +381,19 @@ def validate_operating_point(
 
     if not (t > 0.0) or t != t:  # catches NaN and non-physical temperatures
         emit(ERROR, f"temperature {t!r} K is not physical")
-    elif t < T_HARD_MIN_K or t > T_HARD_MAX_K:
+    elif t < T_DEEP_CRYO_MIN_K or t > T_HARD_MAX_K:
         emit(
             ERROR,
             f"temperature {t:g} K outside the hard model range "
-            f"[{T_HARD_MIN_K:g}, {T_HARD_MAX_K:g}] K",
+            f"[{T_DEEP_CRYO_MIN_K:g}, {T_HARD_MAX_K:g}] K",
+        )
+    elif t < T_HARD_MIN_K:
+        emit(
+            WARNING,
+            f"temperature {t:g} K is in the deep-cryogenic stage domain "
+            f"[{T_DEEP_CRYO_MIN_K:g}, {T_HARD_MIN_K:g}) K: thermal and "
+            f"cooling models apply, but the silicon device models are "
+            f"uncalibrated here (low calibration confidence)",
         )
     elif t < T_CALIBRATED_MIN_K or t > T_CALIBRATED_MAX_K:
         emit(
@@ -478,15 +500,25 @@ def validate_operating_point_batch(
     has_vth = ~np.isnan(vth)
     physical = (t > 0.0) & ~np.isnan(t)
     emit(~physical, ERROR, "temperature is not physical")
-    in_hard = physical & (t >= T_HARD_MIN_K) & (t <= T_HARD_MAX_K)
+    in_hard = physical & (t >= T_DEEP_CRYO_MIN_K) & (t <= T_HARD_MAX_K)
     emit(
         physical & ~in_hard,
         ERROR,
         f"temperature outside the hard model range "
-        f"[{T_HARD_MIN_K:g}, {T_HARD_MAX_K:g}] K",
+        f"[{T_DEEP_CRYO_MIN_K:g}, {T_HARD_MAX_K:g}] K",
     )
     emit(
-        in_hard & ((t < T_CALIBRATED_MIN_K) | (t > T_CALIBRATED_MAX_K)),
+        in_hard & (t < T_HARD_MIN_K),
+        WARNING,
+        f"temperature is in the deep-cryogenic stage domain "
+        f"[{T_DEEP_CRYO_MIN_K:g}, {T_HARD_MIN_K:g}) K: thermal and "
+        f"cooling models apply, but the silicon device models are "
+        f"uncalibrated here (low calibration confidence)",
+    )
+    emit(
+        in_hard
+        & (t >= T_HARD_MIN_K)
+        & ((t < T_CALIBRATED_MIN_K) | (t > T_CALIBRATED_MAX_K)),
         WARNING,
         f"temperature extrapolates beyond the "
         f"[{T_CALIBRATED_MIN_K:g}, {T_CALIBRATED_MAX_K:g}] K "

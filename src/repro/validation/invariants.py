@@ -17,7 +17,13 @@ implementation of the models must satisfy:
   beaten by its neighbours (one more or one fewer repeater, +/-10 %
   repeater size);
 * **domain validity** — every grid point passes the guard validators
-  without error-severity findings.
+  without error-severity findings;
+* **cryostat** — the thermal layer behaves: cooling overhead strictly
+  grows as a stage gets colder (pure-Carnot curve and the standard
+  300/77/4 K stack), the per-stage heat ledger conserves (lifted heat
+  is device plus link heat; wall plug is device plus cooling), and
+  moving a component to a colder stage never lowers the system's
+  wall-plug power.
 
 Every sweep runs through the vectorized batch kernels
 (:class:`~repro.tech.batch.OperatingPointBatch`): each monotonicity law
@@ -39,9 +45,16 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.power.cooling import carnot_cooling_overhead
 from repro.tech.batch import OperatingPointBatch
 from repro.tech.context import TechContext, use_context
 from repro.tech.wire import CryoWireModel
+from repro.thermal import (
+    ComponentPlacement,
+    Cryostat,
+    electrical_link,
+    standard_stack,
+)
 from repro.util.guards import (
     ERROR,
     GuardContext,
@@ -315,6 +328,99 @@ def _audit_repeater_optimality(
                 )
 
 
+def _audit_cryostat(audit: _Audit) -> None:
+    """Invariants of the multi-stage cryostat layer.
+
+    * pure-Carnot CO strictly grows as the stage gets colder (checked on
+      a dense grid with no measured anchors, since a measured pin like
+      the 77 K Stinger 9.65 may sit marginally below the Carnot curve);
+    * the standard 300/77/4 K stack's stage overheads strictly grow
+      warm to cold;
+    * the heat ledger conserves: lifted heat is exactly device plus
+      arriving link heat, and the wall-plug bill is device electricity
+      plus the cooling bill;
+    * moving a component to a colder stage never lowers the system's
+      wall-plug power.
+    """
+    # (a) colder => higher Carnot CO, dense grid, descending temperature.
+    temps_desc = [300.0 - 2.0 * i for i in range(149)]  # 300 .. 4 K
+    overheads = np.asarray(
+        [carnot_cooling_overhead(t) for t in temps_desc], dtype=float
+    )
+    audit.check_series_monotone(
+        temps_desc,
+        overheads,
+        invariant="cooling_overhead_monotone_T",
+        site="carnot",
+        x_unit="K",
+        y_unit="x",
+        strict=True,
+    )
+
+    # (b) the standard stack: stage CO strictly grows warm to cold.
+    stack = standard_stack(include_4k=True)
+    stack_overheads = np.asarray([s.cooling_overhead for s in stack], dtype=float)
+    audit.check_series_monotone(
+        [s.temperature_k for s in stack],
+        stack_overheads,
+        invariant="cooling_overhead_monotone_T",
+        site="standard_stack",
+        x_unit="K",
+        y_unit="x",
+        strict=True,
+    )
+
+    # (c) + (d) a reference system with heat sources and links crossing
+    # both stage boundaries.
+    reference = Cryostat(
+        stack,
+        links=[
+            electrical_link("300K", "77K", lanes=64, name="host-io"),
+            electrical_link("77K", "4K", lanes=16, name="ctrl-io"),
+        ],
+        placements=[
+            ComponentPlacement("core", "77K", 10.0),
+            ComponentPlacement("dram", "300K", 20.0),
+            ComponentPlacement("qctrl", "4K", 0.05),
+        ],
+    )
+    ledger = reference.ledger()
+    for stage_ledger in ledger.stages:
+        audit.check(
+            stage_ledger.lifted_w
+            == stage_ledger.device_w + stage_ledger.link_heat_w,
+            "ledger_conservation",
+            f"cryostat/{stage_ledger.stage}",
+            f"lifted {stage_ledger.lifted_w:g} W != device "
+            f"{stage_ledger.device_w:g} W + links {stage_ledger.link_heat_w:g} W",
+        )
+        wall = stage_ledger.device_w + stage_ledger.cooling_w
+        audit.check(
+            abs(stage_ledger.wall_plug_w - wall)
+            <= _OPT_RTOL * max(abs(wall), 1.0),
+            "ledger_conservation",
+            f"cryostat/{stage_ledger.stage}",
+            f"wall plug {stage_ledger.wall_plug_w:g} W != device "
+            f"{stage_ledger.device_w:g} W + cooling {stage_ledger.cooling_w:g} W",
+        )
+
+    # (d) moving any component to any colder stage never lowers the bill.
+    stage_names = [s.name for s in stack]
+    for placement in reference.placements:
+        start = stage_names.index(placement.stage)
+        for colder in stage_names[start + 1 :]:
+            moved = reference.with_placement(placement.component, colder)
+            audit.check(
+                moved.wall_plug_w()
+                >= reference.wall_plug_w() * (1.0 - _OPT_RTOL),
+                "colder_never_cheaper",
+                f"cryostat/{placement.component}->{colder}",
+                f"moving {placement.component} from {placement.stage} to "
+                f"{colder} dropped wall plug from "
+                f"{reference.wall_plug_w():g} W to {moved.wall_plug_w():g} W",
+            )
+
+
 def run_audit(
     temperatures: Optional[Sequence[float]] = None,
     lengths_um: Optional[Sequence[float]] = None,
@@ -359,6 +465,7 @@ def run_audit(
             _audit_delay_vs_temperature(audit, model, temps, lengths)
             _audit_delay_vs_length(audit, model, temps, lengths)
             _audit_repeater_optimality(audit, model, temps, lengths)
+            _audit_cryostat(audit)
     return AuditReport(
         violations=tuple(audit.violations),
         warnings=guards.warnings,

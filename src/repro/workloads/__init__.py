@@ -8,13 +8,17 @@ workload's *profile* -- miss rates, branch behaviour, synchronisation
 intensity. This package encodes those profiles (literature-informed,
 calibrated against the paper's published per-workload results) plus a
 synthetic trace generator that expands a profile into concrete request
-streams for the cycle-accurate NoC simulator.
+streams for the cycle-accurate NoC simulator. The ``quantum`` suite
+extends the pack past the paper: the classical readout/pulse/decoder
+kernels a 4 K-stage quantum controller runs (the cryostat scenarios'
+coldest compute).
 """
 
 from repro.workloads.profiles import (
     ALL_SUITES,
     CLOUDSUITE,
     PARSEC_2_1,
+    QUANTUM,
     SPEC2006,
     SPEC2017,
     WorkloadProfile,
@@ -30,6 +34,7 @@ __all__ = [
     "SPEC2006",
     "SPEC2017",
     "CLOUDSUITE",
+    "QUANTUM",
     "ALL_SUITES",
     "by_name",
     "injection_rate_range",

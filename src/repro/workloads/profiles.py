@@ -221,11 +221,35 @@ CLOUDSUITE: Tuple[WorkloadProfile, ...] = (
 )
 
 
+def _quantum(name: str, **kw: float) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite="quantum", **kw)
+
+
+#: Quantum-controller workloads: the classical DSP/decoder kernels a
+#: 4 K-stage controller runs between qubit operations. Streaming
+#: readout/pulse kernels are branch-light with small hot loops (tiny
+#: miss chains); the surface-code decoder chases pointers through a
+#: syndrome graph and synchronises its worker threads every decoding
+#: round, so it leans on the memory system and barriers instead.
+QUANTUM: Tuple[WorkloadProfile, ...] = (
+    _quantum("qc_readout_dsp", base_cpi=0.50, ilp=3.6, restarts_pki=2.0,
+             l1d_mpki=3.0, l2_mpki=0.8, l3_mpki=0.3, barrier_pki=0.01,
+             lock_pki=0.02, sharing_fraction=0.10),
+    _quantum("qc_pulse_sequencer", base_cpi=0.55, ilp=3.2, restarts_pki=5.0,
+             l1d_mpki=6.0, l2_mpki=1.8, l3_mpki=0.7, barrier_pki=0.05,
+             lock_pki=0.10, sharing_fraction=0.20),
+    _quantum("qc_error_decoder", base_cpi=0.80, ilp=2.2, restarts_pki=11.0,
+             l1d_mpki=18.0, l2_mpki=6.0, l3_mpki=2.6, barrier_pki=0.60,
+             lock_pki=0.40, sharing_fraction=0.50),
+)
+
+
 ALL_SUITES: Dict[str, Tuple[WorkloadProfile, ...]] = {
     "parsec": PARSEC_2_1,
     "spec2006": SPEC2006,
     "spec2017": SPEC2017,
     "cloudsuite": CLOUDSUITE,
+    "quantum": QUANTUM,
 }
 
 

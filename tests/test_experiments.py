@@ -15,7 +15,7 @@ class TestFramework:
             "table1", "table3", "table4",
             "ablation_superpipeline", "ablation_cryobus",
             "ablation_exposure", "ablation_interleaving", "ext_nodes",
-            "robustness",
+            "robustness", "stage_assignment",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -362,3 +362,44 @@ class TestTables:
     def test_table4_lists_all_systems(self):
         result = run_experiment("table4")
         assert len(result.rows) == 8
+
+
+class TestStageAssignment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("stage_assignment")
+
+    def test_sweeps_every_placement_and_link_kind(self, result):
+        # 3 components x 3 stages each, under 2 link technologies.
+        assert len(result.rows) == 3 ** 3 * 2
+
+    def test_rows_sorted_by_wall_plug_power(self, result):
+        wall = result.column("wall_plug_w")
+        assert wall == sorted(wall)
+
+    def test_everything_warm_is_cheapest(self, result):
+        """With 4 K watts ~7400x and 77 K watts ~10.65x, the ledger puts
+        the all-300 K assignment first despite its higher device power."""
+        best = result.rows[0]
+        assert best[:3] == ("300K", "300K", "300K")
+
+    def test_anything_at_4k_blows_the_envelope(self, result):
+        for row in result.rows:
+            if "4K" in row[:3]:
+                assert not row[-1]
+
+    def test_envelope_flag_matches_wall_plug(self, result):
+        from repro.experiments.stage_assignment import DEFAULT_ENVELOPE_W
+
+        for row in result.rows:
+            assert row[-1] == (row[6] <= DEFAULT_ENVELOPE_W)
+
+    def test_tco_never_below_wall_plug(self, result):
+        for row in result.rows:
+            assert row[7] >= row[6]
+
+    def test_rejects_nonpositive_envelope(self):
+        from repro.experiments.stage_assignment import run
+
+        with pytest.raises(ValueError):
+            run(envelope_w=0.0)

@@ -175,6 +175,9 @@ class TestConstantsMirrorTechLayer:
         assert guards_module.T_HARD_MIN_K == tech_constants.T_MODEL_MIN
         assert guards_module.T_HARD_MAX_K == tech_constants.T_MODEL_MAX
 
+    def test_deep_cryo_floor_matches(self):
+        assert guards_module.T_DEEP_CRYO_MIN_K == tech_constants.T_STAGE_MIN
+
     def test_calibration_anchors_match(self):
         assert guards_module.T_CALIBRATED_MIN_K == tech_constants.T_LN2
         assert guards_module.T_CALIBRATED_MAX_K == tech_constants.T_ROOM
@@ -196,9 +199,24 @@ class TestValidateOperatingPoint:
         assert ctx.total == 0
 
     def test_out_of_hard_range_is_error(self):
-        found = validate_operating_point((4.0, None, None), guards=GuardContext())
+        found = validate_operating_point((1.0, None, None), guards=GuardContext())
         assert [w.severity for w in found] == [ERROR]
         assert "hard model range" in found[0].message
+
+    def test_deep_cryogenic_stage_domain_is_warning(self):
+        """4 K is a modeled thermal stage, not an out-of-range error —
+        but the silicon device models carry low calibration confidence
+        there, so the guard describes it with a distinct warning tier."""
+        found = validate_operating_point((4.0, None, None), guards=GuardContext())
+        assert [w.severity for w in found] == [WARNING]
+        assert "deep-cryogenic" in found[0].message
+        assert "calibration confidence" in found[0].message
+
+    def test_deep_cryo_tier_spans_2_to_60(self):
+        for t in (2.0, 30.0, 59.999):
+            found = validate_operating_point((t, None, None), guards=GuardContext())
+            assert [w.severity for w in found] == [WARNING], t
+            assert "deep-cryogenic" in found[0].message, t
 
     def test_vth_above_vdd_is_error(self):
         found = validate_operating_point((77.0, 0.4, 0.6), guards=GuardContext())

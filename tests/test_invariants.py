@@ -76,13 +76,24 @@ class TestRunAudit:
         report = run_audit(
             temperatures=FAST_TEMPS,
             lengths_um=FAST_LENGTHS,
-            extra_points=[(4.0, 0.4, 0.6)],
+            extra_points=[(1.0, 0.4, 0.6)],
         )
         assert not report.ok
         messages = [w.message for w in report.errors]
         assert any("hard model range" in m for m in messages)
         assert any("exceed Vth" in m for m in messages)
         assert "FAIL" in report.to_text()
+
+    def test_deep_cryogenic_point_warns_but_passes(self):
+        """4 K is a modeled cryostat stage now: the audit describes it
+        with a calibration-confidence warning instead of failing."""
+        report = run_audit(
+            temperatures=FAST_TEMPS,
+            lengths_um=FAST_LENGTHS,
+            extra_points=[(4.0, 0.8, 0.2)],
+        )
+        assert report.ok
+        assert any("deep-cryogenic" in w.message for w in report.warnings)
 
     def test_strict_raises_instead_of_reporting(self):
         with pytest.raises(ModelValidityError):

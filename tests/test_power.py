@@ -15,8 +15,11 @@ from repro.pipeline.config import (
 )
 from repro.power.cooling import (
     COOLING_OVERHEAD_77K,
+    MEASURED_COOLING_OVERHEADS,
+    T_AMBIENT,
     CoolingModel,
     carnot_cooling_overhead,
+    cooling_overhead,
 )
 from repro.power.mcpat import CorePowerModel
 from repro.power.orion import (
@@ -58,6 +61,57 @@ class TestCooling:
     @given(temp=st.floats(min_value=65.0, max_value=295.0))
     def test_overhead_positive_below_ambient(self, temp):
         assert carnot_cooling_overhead(temp) > 0.0
+
+    def test_carnot_vanishes_approaching_ambient_from_below(self):
+        """CO -> 0+ as T -> T_ambient: the cold plate stops needing work."""
+        overheads = [
+            carnot_cooling_overhead(T_AMBIENT - dt)
+            for dt in (10.0, 1.0, 0.1, 1e-3, 1e-6)
+        ]
+        assert overheads == sorted(overheads, reverse=True)
+        assert all(co > 0.0 for co in overheads)
+        assert overheads[-1] == pytest.approx(0.0, abs=1e-7)
+
+    def test_carnot_exactly_zero_at_ambient(self):
+        assert carnot_cooling_overhead(T_AMBIENT) == 0.0
+
+    def test_carnot_zero_above_ambient(self):
+        assert carnot_cooling_overhead(T_AMBIENT + 50.0) == 0.0
+
+    def test_carnot_finite_below_one_kelvin(self):
+        """Sub-1 K is brutal but finite: CO = ((300-T)/T)/eta."""
+        co = carnot_cooling_overhead(0.5)
+        assert co == pytest.approx(((T_AMBIENT - 0.5) / 0.5) / 0.30)
+        assert co < float("inf")
+
+    def test_carnot_rejects_nonpositive_temperature(self):
+        for bad in (0.0, -4.0):
+            with pytest.raises(ValueError):
+                carnot_cooling_overhead(bad)
+
+    def test_carnot_77k_anchor_within_tolerance(self):
+        """The 30 %-of-Carnot curve lands on the measured 9.65 +/- 0.1 %."""
+        assert carnot_cooling_overhead(77.0) == pytest.approx(9.65, rel=1e-3)
+
+
+class TestCoolingOverheadProvider:
+    """The per-stage provider the thermal layer evaluates."""
+
+    def test_measured_anchor_wins_at_77k(self):
+        assert cooling_overhead(77.0) == COOLING_OVERHEAD_77K
+
+    def test_carnot_away_from_anchors(self):
+        assert cooling_overhead(135.0) == carnot_cooling_overhead(135.0)
+
+    def test_custom_measured_table(self):
+        assert cooling_overhead(4.0, measured={4.0: 500.0}) == 500.0
+
+    def test_anchor_at_or_above_ambient_is_ignored(self):
+        """A (nonsense) anchor at ambient must not defeat the zero-CO rule."""
+        assert cooling_overhead(300.0, measured={300.0: 7.0}) == 0.0
+
+    def test_77k_table_holds_the_stinger_number(self):
+        assert MEASURED_COOLING_OVERHEADS[77.0] == 9.65
 
 
 class TestCorePower:

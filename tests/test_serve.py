@@ -194,12 +194,24 @@ class TestEndpoints:
 
     def test_out_of_domain_temperature_is_422_with_findings(self, server):
         status, payload = _post(
-            server, "/v1/query", {"operating_point": {"temperature_k": 20.0}}
+            server, "/v1/query", {"operating_point": {"temperature_k": 1.0}}
         )
         assert status == 422
         error = payload["error"]
         assert error["code"] == "invalid_operating_point"
         assert any(w["severity"] == "error" for w in error["warnings"])
+
+    def test_deep_cryo_point_redirects_to_cryostat(self, server):
+        """[2, 60) K is a valid thermal stage but below the device-model
+        calibration floor: a structured verdict, not a silicon answer."""
+        status, payload = _post(
+            server, "/v1/query", {"operating_point": {"temperature_k": 4.0}}
+        )
+        assert status == 422
+        error = payload["error"]
+        assert error["code"] == "model_domain_error"
+        assert "/v1/cryostat" in error["message"]
+        assert any(w["severity"] == "warning" for w in error["warnings"])
 
     def test_extrapolation_warning_rides_in_the_payload(self, server):
         status, payload = _post(
@@ -243,10 +255,129 @@ class TestEndpoints:
 
     def test_grid_out_of_domain_is_422(self, server):
         status, payload = _post(
-            server, "/v1/grid", {"temperature_k": [77.0, 20.0]}
+            server, "/v1/grid", {"temperature_k": [77.0, 1.0]}
         )
         assert status == 422
         assert payload["error"]["code"] == "invalid_grid"
+
+    def test_grid_deep_cryo_is_model_domain_error(self, server):
+        # 20 K passes validation (deep-cryo warning tier) but the device
+        # models refuse it below their 60 K calibration floor.
+        status, payload = _post(
+            server, "/v1/grid", {"temperature_k": [77.0, 20.0]}
+        )
+        assert status == 422
+        assert payload["error"]["code"] == "model_domain_error"
+
+    def test_cryostat_matches_direct_ledger(self, server):
+        from repro.power.tco import cryostat_tco_w
+        from repro.thermal import (
+            ComponentPlacement,
+            Cryostat,
+            electrical_link,
+            standard_stack,
+        )
+
+        status, payload = _post(
+            server,
+            "/v1/cryostat",
+            {
+                "links": [
+                    {
+                        "kind": "electrical",
+                        "hot_stage": "300K",
+                        "cold_stage": "77K",
+                        "lanes": 64,
+                    },
+                    {
+                        "kind": "electrical",
+                        "hot_stage": "77K",
+                        "cold_stage": "4K",
+                        "lanes": 16,
+                    },
+                ],
+                "placements": [
+                    {"component": "core", "stage": "77K", "device_power_w": 10.0},
+                    {"component": "dram", "stage": "300K", "device_power_w": 20.0},
+                    {"component": "qctrl", "stage": "4K", "device_power_w": 0.05},
+                ],
+            },
+        )
+        assert status == 200
+        direct = Cryostat(
+            standard_stack(include_4k=True),
+            links=[
+                electrical_link("300K", "77K", lanes=64),
+                electrical_link("77K", "4K", lanes=16),
+            ],
+            placements=[
+                ComponentPlacement("core", "77K", 10.0),
+                ComponentPlacement("dram", "300K", 20.0),
+                ComponentPlacement("qctrl", "4K", 0.05),
+            ],
+        )
+        # Bit-identical: the serve layer evaluates the same ledger.
+        assert payload["ledger"] == direct.ledger().to_dict()
+        assert payload["tco_w"] == cryostat_tco_w(direct)
+
+    def test_cryostat_stage_metrics_skip_deep_cryo_stages(self, server):
+        status, payload = _post(
+            server,
+            "/v1/cryostat",
+            {
+                "placements": [
+                    {"component": "core", "stage": "77K", "device_power_w": 5.0}
+                ]
+            },
+        )
+        assert status == 200
+        metrics = payload["stage_metrics"]
+        # 300 K and 77 K are inside the device-model window; 4 K is a
+        # priced thermal stage with no silicon metrics.
+        assert set(metrics) == {"300K", "77K"}
+        assert all(verdict["ok"] for verdict in metrics.values())
+        stage_names = {s["stage"] for s in payload["ledger"]["stages"]}
+        assert "4K" in stage_names
+
+    def test_cryostat_without_placements_is_422(self, server):
+        status, payload = _post(server, "/v1/cryostat", {"placements": []})
+        assert status == 422
+        assert payload["error"]["code"] == "invalid_cryostat"
+
+    def test_cryostat_rejects_cold_to_hot_link(self, server):
+        status, payload = _post(
+            server,
+            "/v1/cryostat",
+            {
+                "links": [
+                    {
+                        "kind": "electrical",
+                        "hot_stage": "4K",
+                        "cold_stage": "300K",
+                        "lanes": 1,
+                    }
+                ],
+                "placements": [
+                    {"component": "core", "stage": "77K", "device_power_w": 1.0}
+                ],
+            },
+        )
+        assert status == 422
+        assert payload["error"]["code"] == "invalid_cryostat"
+
+    def test_cryostat_queries_counted_in_stats(self, server):
+        before = _get(server, "/stats")[1]["requests"]["cryostat_queries"]
+        _post(
+            server,
+            "/v1/cryostat",
+            {
+                "placements": [
+                    {"component": "core", "stage": "77K", "device_power_w": 1.0}
+                ]
+            },
+        )
+        after = _get(server, "/stats")[1]["requests"]["cryostat_queries"]
+        assert after == before + 1
 
     def test_ipc_query_matches_direct_evaluation(self, server):
         status, payload = _post(

@@ -8,6 +8,7 @@ from repro.workloads.profiles import (
     ALL_SUITES,
     CLOUDSUITE,
     PARSEC_2_1,
+    QUANTUM,
     SPEC2006,
     SPEC2017,
     WorkloadProfile,
@@ -46,6 +47,25 @@ class TestProfileCatalogue:
     def test_streamcluster_is_barrier_heavy(self):
         stream = by_name("streamcluster")
         assert stream.barrier_pki == max(p.barrier_pki for p in PARSEC_2_1)
+
+    def test_quantum_suite_registered(self):
+        assert ALL_SUITES["quantum"] is QUANTUM
+        assert len(QUANTUM) == 3
+        assert all(p.suite == "quantum" for p in QUANTUM)
+
+    def test_by_name_finds_quantum_controller_workloads(self):
+        decoder = by_name("qc_error_decoder")
+        assert decoder.suite == "quantum"
+        # The decoder is the memory-heavy outlier: it walks syndrome
+        # history, so it misses far more than the streaming DSP kernels.
+        assert decoder.l1d_mpki == max(p.l1d_mpki for p in QUANTUM)
+
+    def test_quantum_kernels_are_streaming_low_miss(self):
+        for profile in QUANTUM:
+            if profile.name == "qc_error_decoder":
+                continue
+            assert profile.l2_mpki < 10.0
+            assert profile.sharing_fraction <= 0.20
 
     def test_validation_rejects_inverted_chain(self):
         with pytest.raises(ValueError, match="monotone"):
