@@ -278,6 +278,40 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="LRU cap on the warm TechContext memo store (default 4096)",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission cap on concurrently dispatched requests; excess "
+        "load is shed with 503 overloaded + Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=512,
+        metavar="N",
+        help="cap on the micro-batcher's pending queue depth; 0 removes "
+        "the bound (default 512)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=10_000.0,
+        metavar="MS",
+        help="per-request time budget when the client sends no "
+        "X-CryoWire-Deadline-Ms header; expired requests answer 408 "
+        "(default 10000; 0 disables the default budget)",
+    )
+    serve.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="graceful-drain window on SIGTERM/SIGINT: in-flight work "
+        "gets this long to finish before leftovers are failed with "
+        "structured 503 shutting_down (default 5.0)",
+    )
     return parser
 
 
@@ -415,6 +449,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             raise SystemExit("error: --max-batch must be >= 1")
         if args.cache_entries < 1:
             raise SystemExit("error: --cache-entries must be >= 1")
+        if args.max_inflight < 1:
+            raise SystemExit("error: --max-inflight must be >= 1")
+        if args.max_queue < 0:
+            raise SystemExit("error: --max-queue must be >= 0")
+        if args.drain_timeout_s < 0:
+            raise SystemExit("error: --drain-timeout-s must be >= 0")
         server = CryoWireServer(
             service=ModelService(max_cache_entries=args.cache_entries),
             host=args.host,
@@ -422,6 +462,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             window_s=args.window_ms / 1000.0,
             max_batch=args.max_batch,
             batching_enabled=not args.no_batching,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue if args.max_queue > 0 else None,
+            default_deadline_ms=args.default_deadline_ms,
+            drain_timeout_s=args.drain_timeout_s,
         )
         server.run()
         return 0

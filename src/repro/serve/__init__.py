@@ -11,23 +11,45 @@ HTTP/JSON API (stdlib ``asyncio`` only — no framework):
 * :mod:`repro.serve.batching` — :class:`MicroBatcher`, the request
   queue that coalesces concurrent point queries into one
   :class:`~repro.tech.batch.OperatingPointBatch` per device card.
+* :mod:`repro.serve.overload` — the budget vocabulary: per-request
+  :class:`Deadline` time budgets, the bounded :class:`AdmissionGate`
+  (shed, don't queue), and the experiment-path :class:`CircuitBreaker`.
 * :mod:`repro.serve.http` — a minimal asyncio HTTP/1.1 layer (request
   parsing, keep-alive, structured JSON errors).
 * :mod:`repro.serve.app` — :class:`CryoWireServer`, wiring routes to
-  the service and owning the process lifecycle, plus
-  :func:`serve_in_thread` for tests and benchmarks.
+  the service and owning the process lifecycle (admission, deadlines,
+  graceful drain), plus :func:`serve_in_thread` for tests and
+  benchmarks.
 """
 
 from repro.serve.app import CryoWireServer, ServerHandle, serve_in_thread
 from repro.serve.batching import MicroBatcher
+from repro.serve.overload import (
+    AdmissionGate,
+    BatcherClosed,
+    BreakerOpen,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    InvalidDeadline,
+    QueueFull,
+)
 from repro.serve.service import ModelService, PointQuery, QueryError, WireSpec
 
 __all__ = [
+    "AdmissionGate",
+    "BatcherClosed",
+    "BreakerOpen",
+    "CircuitBreaker",
     "CryoWireServer",
+    "Deadline",
+    "DeadlineExceeded",
+    "InvalidDeadline",
     "MicroBatcher",
     "ModelService",
     "PointQuery",
     "QueryError",
+    "QueueFull",
     "ServerHandle",
     "serve_in_thread",
     "WireSpec",

@@ -27,21 +27,39 @@ _STATUS_TEXT = {
     408: "Request Timeout",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+
+def error_payload(
+    code: str, message: str, retryable: bool = False, **extra
+) -> Dict:
+    """A structured error body: stable ``code``, human ``message``, and
+    ``retryable`` telling clients whether backing off and retrying can
+    possibly succeed (overload/deadline/shutdown: yes; malformed
+    request: no)."""
+    error: Dict = {"code": code, "message": message, "retryable": retryable}
+    error.update(extra)
+    return {"error": error}
 
 
 class HttpError(Exception):
     """A protocol- or request-level failure with a structured payload."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self, status: int, code: str, message: str, retryable: bool = False
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retryable = retryable
 
     def to_payload(self) -> Dict:
-        return {"error": {"code": self.code, "message": str(self)}}
+        return error_payload(self.code, str(self), retryable=self.retryable)
 
 
 @dataclass
@@ -117,17 +135,27 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 
 def render_response(
-    status: int, payload: Dict, keep_alive: bool = True
+    status: int,
+    payload: Dict,
+    keep_alive: bool = True,
+    headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    """Serialise a JSON response (Content-Length framed)."""
+    """Serialise a JSON response (Content-Length framed).
+
+    ``headers`` adds extra response headers (``Retry-After`` on shed
+    load, say); the framing headers (Content-Type/Length, Connection)
+    are always emitted by this function and cannot be overridden.
+    """
     body = json.dumps(payload).encode("utf-8")
-    head = (
-        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        f"\r\n"
-    ).encode("latin-1")
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
 
 
@@ -136,8 +164,9 @@ async def write_response(
     status: int,
     payload: Dict,
     keep_alive: bool = True,
+    headers: Optional[Dict[str, str]] = None,
 ) -> None:
-    writer.write(render_response(status, payload, keep_alive))
+    writer.write(render_response(status, payload, keep_alive, headers=headers))
     await writer.drain()
 
 

@@ -70,6 +70,7 @@ from repro.thermal import (
     optical_link,
     standard_stack,
 )
+from repro.util.faults import fault_point
 from repro.util.guards import (
     ERROR,
     GuardContext,
@@ -461,6 +462,7 @@ class ModelService:
         or ``{"ok": False, "error": {...}}`` — a per-point verdict, so
         the transport can answer each coalesced request independently.
         """
+        fault_point("serve.executor.model")
         with self._lock:
             self._counters.point_queries += len(queries)
         results: List[Optional[Dict]] = [None] * len(queries)
@@ -677,6 +679,7 @@ class ModelService:
         (``mode="product"``). The response carries the resolved point
         columns plus one metric array per kernel.
         """
+        fault_point("serve.executor.model")
         if not isinstance(data, dict):
             raise QueryError("invalid_request", "request body must be a JSON object")
         unknown = set(data) - {"card", "mode", "temperature_k", "vdd_v", "vth_v"}
@@ -745,6 +748,7 @@ class ModelService:
     # ------------------------------------------------------------------
     def evaluate_ipc(self, data: Dict) -> Dict:
         """Evaluate one workload on one named Table 4 system."""
+        fault_point("serve.executor.experiment")
         if not isinstance(data, dict):
             raise QueryError("invalid_request", "request body must be a JSON object")
         unknown = set(data) - {"system", "workload"}
@@ -819,6 +823,7 @@ class ModelService:
         the micro-batched point path (so concurrent cryostat requests
         coalesce with ordinary ``/v1/query`` traffic).
         """
+        fault_point("serve.executor.model")
         with self._lock:
             self._counters.cryostat_queries += 1
         cryostat = plan.cryostat
@@ -874,6 +879,7 @@ class ModelService:
         accumulated too many leaked timeout threads — the serve-side
         symptom of the engine bug this PR fixes.
         """
+        fault_point("serve.executor.experiment")
         if not isinstance(data, dict):
             raise QueryError("invalid_request", "request body must be a JSON object")
         unknown = set(data) - {"experiment", "kwargs"}

@@ -16,6 +16,24 @@ faults) or :func:`maybe_corrupt` (for data faults). Engine sites:
 * ``cache.read`` / ``cache.write`` — byte-corruption sites in the
   result cache
 
+Serve-path sites (the ``cryowire serve`` stack, exercised by
+``tests/test_serve_chaos.py``):
+
+* ``serve.connection``          — per-request, on the event loop right
+  after the request is parsed (connection-level transients/fatals)
+* ``serve.batch.drain``         — around each coalesced batch
+  evaluation, on the model executor thread (a ``hang`` here wedges the
+  batch, not the event loop)
+* ``serve.executor.model``      — entry of the model-executor work
+  (point batches, grids, cryostat pricing)
+* ``serve.executor.experiment`` — entry of the experiment-executor work
+  (IPC solves, registry experiments); failures here feed the circuit
+  breaker
+
+``kill`` faults are for out-of-process workers only — the serve sites
+run in the server process, so plans targeting them should stick to
+``transient`` / ``fatal`` / ``hang``.
+
 Determinism: every fire/no-fire decision is a pure function of the plan
 seed, the site label and the per-site trial index (a SHA-256 hash mapped
 to ``[0, 1)`` and compared against the spec's probability — no salted

@@ -27,13 +27,17 @@ import pytest
 
 from repro.experiments.registry import _SPECS, experiment
 from repro.serve import (
+    BatcherClosed,
+    DeadlineExceeded,
     MicroBatcher,
     ModelService,
     PointQuery,
     QueryError,
+    QueueFull,
     WireSpec,
     serve_in_thread,
 )
+from repro.serve.overload import Deadline
 from repro.serve.service import parse_point_query
 from repro.system.config import CHP_77K_MESH
 from repro.system.multicore import MulticoreSystem
@@ -77,6 +81,21 @@ def _get(handle, path):
 
 def _post(handle, path, payload):
     return _request(handle, "POST", path, payload)
+
+
+def _request_full(handle, method, path, payload=None, headers=None):
+    """Like ``_request`` but sends request headers and returns the
+    response headers (lower-cased) — the overload tests check
+    ``Retry-After`` and the deadline header."""
+    conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        response_headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, response_headers, json.loads(response.read())
+    finally:
+        conn.close()
 
 
 class TestEndpoints:
@@ -638,3 +657,300 @@ class TestMicroBatcher:
             MicroBatcher(lambda q: q, window_s=-1.0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda q: q, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda q: q, max_queue=0)
+
+
+class TestMicroBatcherDrain:
+    """The stop() drain semantics: flush, force, refuse, bound."""
+
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_stop_flushes_pending_work(self):
+        """Entries still queued when stop() is called are evaluated, not
+        dropped: the drain flushes before the worker exits."""
+
+        def evaluate(queries):
+            return [q * 2 for q in queries]
+
+        async def scenario():
+            # A long window guarantees the entries are still pending
+            # when stop() arrives — stop must skip the window and flush.
+            batcher = MicroBatcher(evaluate, window_s=5.0)
+            batcher.start()
+            tasks = [
+                asyncio.get_running_loop().create_task(batcher.submit(i))
+                for i in range(5)
+            ]
+            await asyncio.sleep(0)  # let every submit enqueue
+            record = await batcher.stop(drain_timeout_s=5.0)
+            results = await asyncio.gather(*tasks)
+            return record, results
+
+        record, results = self._run(scenario())
+        assert results == [i * 2 for i in range(5)]
+        assert record["outcome"] == "drained"
+        assert record["pending_at_stop"] == 5
+        assert record["failed"] == 0
+
+    def test_forced_stop_fails_unresolved_futures_structured(self):
+        """A drain that cannot finish in time fails every unresolved
+        future with BatcherClosed — waiters get a structured error, not
+        an eternal await."""
+        release = threading.Event()
+
+        def evaluate(queries):
+            release.wait(5.0)
+            return list(queries)
+
+        async def scenario():
+            batcher = MicroBatcher(evaluate, window_s=0.0)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            first = loop.create_task(batcher.submit("wedged"))
+            await asyncio.sleep(0.05)  # worker picks it up and blocks
+            queued = loop.create_task(batcher.submit("queued"))
+            await asyncio.sleep(0)
+            record = await batcher.stop(drain_timeout_s=0.05)
+            outcomes = await asyncio.gather(
+                first, queued, return_exceptions=True
+            )
+            release.set()
+            return record, outcomes
+
+        record, outcomes = self._run(scenario())
+        assert record["outcome"] == "forced"
+        assert record["failed"] == 2
+        assert all(isinstance(o, BatcherClosed) for o in outcomes)
+
+    def test_submit_after_stop_is_refused(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda q: list(q), window_s=0.0)
+            batcher.start()
+            await batcher.stop()
+            with pytest.raises(BatcherClosed):
+                await batcher.submit(1)
+
+        self._run(scenario())
+
+    def test_poisoned_batch_failure_races_drain(self):
+        """The poisoned-batch fan-out (evaluate raises for the whole
+        chunk) racing a concurrent stop(): every waiter sees the
+        evaluation error, none is abandoned, and the drain still
+        reports a clean flush."""
+
+        def evaluate(queries):
+            time.sleep(0.02)
+            raise ValueError("poisoned batch")
+
+        async def scenario():
+            batcher = MicroBatcher(evaluate, window_s=0.01)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            tasks = [loop.create_task(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            record = await batcher.stop(drain_timeout_s=5.0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return record, outcomes
+
+        record, outcomes = self._run(scenario())
+        assert record["outcome"] == "drained"
+        assert record["failed"] == 0  # resolved by fan-out, not by force
+        assert all(
+            isinstance(o, ValueError) and "poisoned" in str(o)
+            for o in outcomes
+        )
+
+    def test_queue_bound_sheds_queue_full(self):
+        release = threading.Event()
+
+        def evaluate(queries):
+            release.wait(5.0)
+            return list(queries)
+
+        async def scenario():
+            batcher = MicroBatcher(evaluate, window_s=0.0, max_queue=2)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            busy = loop.create_task(batcher.submit("busy"))
+            await asyncio.sleep(0.05)  # worker drains it and blocks
+            queued = [loop.create_task(batcher.submit(i)) for i in range(2)]
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFull):
+                await batcher.submit("one too many")
+            release.set()
+            await asyncio.gather(busy, *queued)
+            return batcher.stats()
+
+        stats = self._run(scenario())
+        assert stats["shed_queue_full"] == 1
+
+    def test_expired_deadline_is_shed_before_kernel_work(self):
+        evaluated = []
+
+        def evaluate(queries):
+            evaluated.extend(queries)
+            return list(queries)
+
+        async def scenario():
+            batcher = MicroBatcher(evaluate, window_s=0.05)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            doomed = loop.create_task(
+                batcher.submit("doomed", deadline=Deadline(1.0))
+            )
+            fine = loop.create_task(batcher.submit("fine"))
+            await asyncio.sleep(0.01)  # budget (1 ms) expires while queued
+            outcomes = await asyncio.gather(
+                doomed, fine, return_exceptions=True
+            )
+            await batcher.stop()
+            return outcomes
+
+        doomed_outcome, fine_outcome = self._run(scenario())
+        assert isinstance(doomed_outcome, DeadlineExceeded)
+        assert fine_outcome == "fine"
+        # The expired entry never reached the evaluate hook.
+        assert evaluated == ["fine"]
+
+
+class TestOverloadControls:
+    """Deadlines, admission, readiness — the non-chaos overload paths."""
+
+    def test_readyz_is_ready_on_a_healthy_server(self):
+        with serve_in_thread(window_s=0.001) as handle:
+            status, payload = _get(handle, "/readyz")
+            assert (status, payload) == (200, {"ready": True})
+
+    def test_deadline_header_is_recorded_in_the_payload(self):
+        with serve_in_thread(window_s=0.001) as handle:
+            status, _, payload = _request_full(
+                handle,
+                "POST",
+                "/v1/query",
+                {"operating_point": dict(OP_CRYOSP_VOLTAGES)},
+                headers={"X-CryoWire-Deadline-Ms": "5000"},
+            )
+            assert status == 200
+            assert payload["deadline"]["budget_ms"] == 5000.0
+            assert 0.0 < payload["deadline"]["remaining_ms"] <= 5000.0
+
+    def test_tiny_deadline_is_structured_408(self):
+        with serve_in_thread(window_s=0.001) as handle:
+            status, _, payload = _request_full(
+                handle,
+                "POST",
+                "/v1/query",
+                {"operating_point": dict(OP_CRYOSP_VOLTAGES)},
+                headers={"X-CryoWire-Deadline-Ms": "0.001"},
+            )
+            assert status == 408
+            error = payload["error"]
+            assert error["code"] == "deadline_exceeded"
+            assert error["retryable"] is True
+            assert error["budget_ms"] == 0.001
+
+    def test_invalid_deadline_header_is_400(self):
+        with serve_in_thread(window_s=0.001) as handle:
+            for bad in ("soon", "-100", "0", "inf"):
+                status, _, payload = _request_full(
+                    handle,
+                    "POST",
+                    "/v1/query",
+                    {"operating_point": dict(OP_CRYOSP_VOLTAGES)},
+                    headers={"X-CryoWire-Deadline-Ms": bad},
+                )
+                assert status == 400, bad
+                assert payload["error"]["code"] == "invalid_deadline"
+                assert payload["error"]["retryable"] is False
+
+    def test_full_gate_sheds_503_with_retry_after(self):
+        with serve_in_thread(window_s=0.001, max_inflight=1) as handle:
+            # Fill the gate from the outside (it is thread-safe), so the
+            # next request is deterministically shed.
+            assert handle.server.gate.try_acquire()
+            try:
+                status, headers, payload = _request_full(
+                    handle,
+                    "POST",
+                    "/v1/query",
+                    {"operating_point": dict(OP_CRYOSP_VOLTAGES)},
+                )
+                assert status == 503
+                assert payload["error"]["code"] == "overloaded"
+                assert payload["error"]["retryable"] is True
+                assert headers["retry-after"] == "1"
+            finally:
+                handle.server.gate.release()
+            status, _, payload = _request_full(
+                handle,
+                "POST",
+                "/v1/query",
+                {"operating_point": dict(OP_CRYOSP_VOLTAGES)},
+            )
+            assert status == 200
+            stats = handle.stats()["overload"]
+            assert stats["shed_overload"] == 1
+            assert stats["admitted"] >= 1
+
+    def test_health_probes_bypass_the_gate(self):
+        with serve_in_thread(window_s=0.001, max_inflight=1) as handle:
+            assert handle.server.gate.try_acquire()
+            try:
+                assert _get(handle, "/healthz")[0] == 200
+                assert _get(handle, "/readyz")[0] == 200
+                assert _get(handle, "/stats")[0] == 200
+            finally:
+                handle.server.gate.release()
+
+    def test_stats_overload_shape(self):
+        with serve_in_thread(window_s=0.001) as handle:
+            status, payload = _get(handle, "/stats")
+            assert status == 200
+            overload = payload["overload"]
+            assert {
+                "max_inflight",
+                "inflight",
+                "admitted",
+                "shed_overload",
+                "shed_deadline",
+                "shed_shutdown",
+                "breaker",
+                "drain",
+                "draining",
+            } <= set(overload)
+            assert overload["breaker"]["state"] == "closed"
+            assert overload["drain"] is None
+
+
+class TestServerTeardown:
+    def test_stop_reports_graceful_on_a_quiet_server(self):
+        handle = serve_in_thread(window_s=0.001)
+        assert handle.stop() == "graceful"
+        assert handle.last_stop_outcome == "graceful"
+        assert handle.server.last_drain["path"] == "graceful"
+
+    def test_stop_is_idempotent(self):
+        handle = serve_in_thread(window_s=0.001)
+        assert handle.stop() == "graceful"
+        # A second stop must not hang or error (the loop is gone).
+        assert handle.stop(timeout=1.0) in ("graceful", "forced")
+
+    def test_hung_drain_escalates_to_forced_loop_stop(self):
+        """A stop() coroutine that never finishes must not leave the
+        daemon thread holding the port: the handle escalates to a forced
+        loop-stop and reports which path it took."""
+        handle = serve_in_thread(window_s=0.001)
+
+        async def hung_stop(drain_timeout_s=None):
+            await asyncio.sleep(60)
+
+        handle.server.stop = hung_stop
+        t0 = time.monotonic()
+        outcome = handle.stop(timeout=0.4)
+        elapsed = time.monotonic() - t0
+        assert outcome == "forced"
+        assert handle.last_stop_outcome == "forced"
+        assert elapsed < 5.0
+        assert not handle._thread.is_alive()

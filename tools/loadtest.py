@@ -14,12 +14,19 @@ for a long-running model service:
   query mix; the ratio is what micro-batching is worth. The queries all
   carry a wire spec (a repeater optimisation per point), so the control
   pays a real model evaluation per request rather than a dict lookup.
+* **overload** (``--overload``) — closed-loop clients drive a small-
+  capacity server at ~5x its admission limit and assert shed-not-queued
+  behavior: excess load is answered ``503 overloaded`` + ``Retry-After``
+  (not queued), admitted-request p99 stays inside the deadline budget,
+  the client-side and server-side 503/408 accounting reconciles, and
+  zero responses are torn.
 
 Usage::
 
     python tools/loadtest.py --self-host --duration 8
     python tools/loadtest.py --url http://127.0.0.1:8077 --duration 10
     python tools/loadtest.py --self-host --bench-file BENCH_serve.json
+    python tools/loadtest.py --overload-only --duration 6
 
 ``--require-coalescing`` exits non-zero unless the batcher actually
 coalesced (CI's regression tripwire); ``--bench-file`` appends the run
@@ -70,6 +77,25 @@ def _post(
     response = conn.getresponse()
     data = response.read()
     return response.status, json.loads(data)
+
+
+def _post_full(
+    conn: http.client.HTTPConnection,
+    path: str,
+    payload: Dict,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Dict[str, str], Dict]:
+    """Like :func:`_post` but also returns the response headers
+    (lower-cased names) — the overload phase checks ``Retry-After``."""
+    body = json.dumps(payload).encode("utf-8")
+    request_headers = {"Content-Type": "application/json"}
+    if headers:
+        request_headers.update(headers)
+    conn.request("POST", path, body=body, headers=request_headers)
+    response = conn.getresponse()
+    data = response.read()
+    response_headers = {k.lower(): v for k, v in response.getheaders()}
+    return response.status, response_headers, json.loads(data)
 
 
 def _get(conn: http.client.HTTPConnection, path: str) -> Dict:
@@ -337,6 +363,175 @@ def run_ab_phase(
     }
 
 
+def run_overload_phase(
+    duration_s: float = 6.0,
+    seed: int = 7,
+    max_inflight: int = 8,
+    overload_factor: float = 5.0,
+    deadline_ms: float = 2000.0,
+    window_ms: float = 2.0,
+) -> Dict:
+    """Drive a small-capacity server past its admission limit.
+
+    Boots a server with a deliberately tiny gate (``max_inflight``) and
+    hammers it closed-loop with ``max_inflight * overload_factor``
+    clients, then asserts the shed-not-queued contract:
+
+    * excess load is answered ``503 overloaded`` with ``Retry-After``
+      (never silently queued, never a torn response);
+    * admitted requests keep a bounded p99 — the queue in front of them
+      is capped, so overload cannot stretch their latency unboundedly;
+    * client-side and server-side accounting reconcile: every request
+      the clients sent is either in the server's ``admitted`` or its
+      ``shed_overload`` counter.
+
+    Returns a report with a ``checks`` list and an overall ``ok``.
+    """
+    from repro.serve import serve_in_thread
+
+    clients = max(2, int(max_inflight * overload_factor))
+    handle = serve_in_thread(
+        window_s=window_ms / 1000.0,
+        max_inflight=max_inflight,
+        max_queue=max_inflight * 4,
+        default_deadline_ms=deadline_ms,
+        drain_timeout_s=5.0,
+    )
+    lock = threading.Lock()
+    tallies = {
+        "sent": 0,
+        "ok": 0,
+        "shed_overload": 0,
+        "shed_deadline": 0,
+        "other_status": 0,
+        "torn": 0,
+        "missing_retry_after": 0,
+        "conn_errors": 0,
+    }
+    ok_latencies: List[float] = []
+    stop_at = time.monotonic() + duration_s
+
+    def worker(worker_seed: int) -> None:
+        rng = random.Random(worker_seed)
+        conn = _connect(handle.url)
+        try:
+            while time.monotonic() < stop_at:
+                payload = make_point_query(rng, fresh=True)
+                t0 = time.monotonic()
+                try:
+                    status, headers, body = _post_full(
+                        conn, "/v1/query", payload
+                    )
+                except (ValueError, http.client.HTTPException, OSError) as exc:
+                    # ValueError = unparseable JSON = a torn response;
+                    # transport errors just mean reconnect and retry.
+                    conn.close()
+                    conn = _connect(handle.url)
+                    with lock:
+                        if isinstance(exc, ValueError):
+                            tallies["sent"] += 1
+                            tallies["torn"] += 1
+                        else:
+                            tallies["conn_errors"] += 1
+                    continue
+                elapsed = time.monotonic() - t0
+                error = body.get("error", {}) if isinstance(body, dict) else {}
+                code = error.get("code")
+                with lock:
+                    tallies["sent"] += 1
+                    if status == 200:
+                        tallies["ok"] += 1
+                        ok_latencies.append(elapsed)
+                    elif status == 503 and code == "overloaded":
+                        tallies["shed_overload"] += 1
+                        if "retry-after" not in headers:
+                            tallies["missing_retry_after"] += 1
+                    elif status == 408 and code == "deadline_exceeded":
+                        tallies["shed_deadline"] += 1
+                    else:
+                        tallies["other_status"] += 1
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(seed + i,), name=f"overload-{i}", daemon=True
+        )
+        for i in range(clients)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - start
+    try:
+        stats = handle.stats()
+    finally:
+        stop_outcome = handle.stop()
+    overload = stats["overload"]
+    ok_latencies.sort()
+    p99_ms = round(_percentile(ok_latencies, 0.99) * 1e3, 3)
+    # The budget an admitted request can legitimately spend is its
+    # deadline; give 50% margin for scheduling noise before calling the
+    # tail unbounded.
+    p99_bound_ms = deadline_ms * 1.5
+    server_handled = overload["admitted"] + overload["shed_overload"]
+    # Requests that died on the transport (conn_errors) may or may not
+    # have reached the gate, so accounting tolerates that much skew.
+    skew = abs(server_handled - tallies["sent"])
+    checks = [
+        {
+            "name": "shed_not_queued",
+            "ok": tallies["shed_overload"] > 0
+            and overload["shed_overload"] > 0,
+            "detail": f"client 503s={tallies['shed_overload']}, "
+            f"server shed={overload['shed_overload']}",
+        },
+        {
+            "name": "retry_after_on_every_503",
+            "ok": tallies["missing_retry_after"] == 0,
+            "detail": f"missing={tallies['missing_retry_after']}",
+        },
+        {
+            "name": "no_torn_responses",
+            "ok": tallies["torn"] == 0,
+            "detail": f"torn={tallies['torn']}",
+        },
+        {
+            "name": "admitted_p99_bounded",
+            "ok": tallies["ok"] > 0 and p99_ms <= p99_bound_ms,
+            "detail": f"p99={p99_ms} ms, bound={p99_bound_ms} ms, "
+            f"admitted_ok={tallies['ok']}",
+        },
+        {
+            "name": "accounting_reconciles",
+            "ok": skew <= tallies["conn_errors"],
+            "detail": f"client sent={tallies['sent']}, server "
+            f"admitted+shed={server_handled}, conn_errors="
+            f"{tallies['conn_errors']}",
+        },
+        {
+            "name": "unexpected_statuses",
+            "ok": tallies["other_status"] == 0,
+            "detail": f"other={tallies['other_status']}",
+        },
+    ]
+    return {
+        "clients": clients,
+        "max_inflight": max_inflight,
+        "overload_factor": round(clients / max_inflight, 1),
+        "deadline_ms": deadline_ms,
+        "wall_s": round(wall, 3),
+        "tallies": tallies,
+        "admitted_p99_ms": p99_ms,
+        "server_overload": overload,
+        "stop_outcome": stop_outcome,
+        "checks": checks,
+        "ok": all(check["ok"] for check in checks),
+    }
+
+
 def append_trajectory(path: Path, report: Dict) -> None:
     """Append this run to the ``BENCH_serve.json`` trajectory file."""
     if path.exists():
@@ -396,30 +591,78 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit non-zero unless the micro-batcher coalesced at least "
         "one batch (CI tripwire)",
     )
-    args = parser.parse_args(argv)
-    if args.url is None and not args.self_host:
-        parser.error("pass --url or --self-host")
-    if args.url is not None and args.self_host:
-        parser.error("--url and --self-host are mutually exclusive")
-    report = run_loadtest(
-        url=args.url,
-        duration_s=args.duration,
-        clients=args.clients,
-        peak_rps=args.peak_rps,
-        seed=args.seed,
-        window_ms=args.window_ms,
-        ab=not args.no_ab,
+    parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="also run the overload phase (self-hosts its own "
+        "small-capacity server; exits non-zero if any check fails)",
     )
+    parser.add_argument(
+        "--overload-only",
+        action="store_true",
+        help="run only the overload phase (skips diurnal and A/B)",
+    )
+    parser.add_argument(
+        "--overload-inflight", type=int, default=8, metavar="N",
+        help="overload-phase server admission cap (default 8)",
+    )
+    parser.add_argument(
+        "--overload-factor", type=float, default=5.0, metavar="X",
+        help="overload-phase client count as a multiple of the "
+        "admission cap (default 5.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.overload_only:
+        args.overload = True
+    if not args.overload_only:
+        if args.url is None and not args.self_host:
+            parser.error("pass --url or --self-host")
+        if args.url is not None and args.self_host:
+            parser.error("--url and --self-host are mutually exclusive")
+    report: Dict = {}
+    if not args.overload_only:
+        report = run_loadtest(
+            url=args.url,
+            duration_s=args.duration,
+            clients=args.clients,
+            peak_rps=args.peak_rps,
+            seed=args.seed,
+            window_ms=args.window_ms,
+            ab=not args.no_ab,
+        )
+    overload_failed = False
+    if args.overload:
+        overload_report = run_overload_phase(
+            duration_s=min(args.duration, 10.0),
+            seed=args.seed,
+            max_inflight=args.overload_inflight,
+            overload_factor=args.overload_factor,
+            window_ms=args.window_ms,
+        )
+        report["overload"] = overload_report
+        overload_failed = not overload_report["ok"]
     print(json.dumps(report, indent=2))
-    if args.bench_file:
+    if args.bench_file and "diurnal" in report:
         append_trajectory(Path(args.bench_file), report)
         print(f"appended trajectory to {args.bench_file}", file=sys.stderr)
-    if args.require_coalescing and report["coalescing_rate"] <= 0.0:
+    if (
+        args.require_coalescing
+        and "coalescing_rate" in report
+        and report["coalescing_rate"] <= 0.0
+    ):
         print(
             "FAIL: micro-batcher never coalesced "
             f"(rate {report['coalescing_rate']})",
             file=sys.stderr,
         )
+        return 1
+    if overload_failed:
+        for check in report["overload"]["checks"]:
+            if not check["ok"]:
+                print(
+                    f"FAIL: overload check {check['name']}: {check['detail']}",
+                    file=sys.stderr,
+                )
         return 1
     return 0
 
