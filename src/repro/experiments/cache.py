@@ -171,9 +171,17 @@ class ResultCache:
             pass
 
     def put(self, key: str, result: ExperimentResult) -> Path:
-        """Atomically persist ``result`` under ``key``."""
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._entry_path(key)
+        """Atomically persist ``result`` under ``key``.
+
+        Safe against concurrent writers of the *same* key (sharded
+        runs put identical results from several processes): each writer
+        publishes a complete, digest-valid entry via its own temp file
+        and an atomic ``os.replace``, so the last writer wins and no
+        reader ever observes a torn entry. Also tolerates a concurrent
+        ``corrupt/`` quarantine move (or cache ``clear()``) yanking the
+        cache directory or the temp file out from under the rename: the
+        write is retried once from scratch.
+        """
         result_dict = result.to_dict()
         payload = {
             "schema": ENTRY_SCHEMA,
@@ -185,25 +193,39 @@ class ResultCache:
         raw = maybe_corrupt(
             "cache.write", json.dumps(payload).encode("utf-8")
         )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.cache_dir), prefix=f".{key[:12]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(raw)
-                handle.flush()
-                # The crash-safety story depends on the entry's bytes
-                # being durable *before* the rename publishes the path:
-                # os.replace is atomic in the namespace, not on disk.
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
+        path = self._entry_path(key)
+        last_error: Optional[OSError] = None
+        for _attempt in range(2):
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.cache_dir), prefix=f".{key[:12]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(raw)
+                    handle.flush()
+                    # The crash-safety story depends on the entry's bytes
+                    # being durable *before* the rename publishes the path:
+                    # os.replace is atomic in the namespace, not on disk.
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+                return path
+            except FileNotFoundError as exc:
+                # A concurrent quarantine/clear removed the directory (or
+                # our temp file) between mkstemp and the rename; re-create
+                # and retry once before giving up.
+                last_error = exc
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        raise last_error  # type: ignore[misc]  # both attempts failed
 
     def clear(self) -> int:
         """Delete every cache entry, including the ``corrupt/``

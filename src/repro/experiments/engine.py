@@ -52,7 +52,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.cache import ResultCache, cache_disabled_by_env
@@ -166,6 +166,9 @@ class RunRecord:
     #: Live leaked timeout threads in the executing worker when this
     #: record was produced (a per-worker gauge, not a per-record delta).
     leaked_threads: int = 0
+    #: Worker-group (shard) index that produced this record; ``-1`` means
+    #: an unsharded run or a coordinator-side record (skip/orphan).
+    shard: int = -1
 
     def to_dict(self) -> Dict:
         return {
@@ -177,6 +180,7 @@ class RunRecord:
             "attempts": self.attempts,
             "warnings": list(self.warnings),
             "leaked_threads": self.leaked_threads,
+            "shard": self.shard,
         }
 
     @classmethod
@@ -190,6 +194,7 @@ class RunRecord:
             attempts=data.get("attempts", 1),
             warnings=list(data.get("warnings", [])),
             leaked_threads=data.get("leaked_threads", 0),
+            shard=data.get("shard", -1),
         )
 
 
@@ -202,6 +207,9 @@ class RunManifest:
     cache_enabled: bool = True
     created_at: str = ""
     elapsed_s: float = 0.0
+    #: Worker groups the run was sharded across (0 = unsharded; when
+    #: positive, ``jobs`` is the per-shard worker count).
+    shards: int = 0
     records: List[RunRecord] = field(default_factory=list)
 
     def _count(self, status: str) -> int:
@@ -273,9 +281,10 @@ class RunManifest:
 
     def to_dict(self) -> Dict:
         return {
-            "schema": 3,
+            "schema": 4,
             "created_at": self.created_at,
             "jobs": self.jobs,
+            "shards": self.shards,
             "cache_dir": self.cache_dir,
             "cache_enabled": self.cache_enabled,
             "elapsed_s": self.elapsed_s,
@@ -305,6 +314,7 @@ class RunManifest:
             cache_enabled=data.get("cache_enabled", True),
             created_at=data.get("created_at", ""),
             elapsed_s=data.get("elapsed_s", 0.0),
+            shards=data.get("shards", 0),
             records=[RunRecord.from_dict(r) for r in data.get("records", [])],
         )
 
@@ -322,23 +332,39 @@ class RunManifest:
 
     def summary(self) -> str:
         """Human-readable rendering (the body of ``cryowire stats``)."""
+        sharded = self.shards > 0 or any(r.shard >= 0 for r in self.records)
+        config = (
+            f"jobs={self.jobs}  cache={'on' if self.cache_enabled else 'off'}"
+            f"  dir={self.cache_dir}"
+        )
+        if sharded:
+            config = f"shards={self.shards}  " + config
+        header = (
+            f"{'experiment':26s} {'status':12s} {'wall_s':>8s} {'worker':>8s}"
+            f" {'tries':>5s}"
+        )
+        if sharded:
+            header += f" {'shard':>5s}"
         lines = [
             f"# cryowire run manifest ({self.created_at or 'unknown time'})",
-            f"jobs={self.jobs}  cache={'on' if self.cache_enabled else 'off'}"
-            f"  dir={self.cache_dir}",
+            config,
             "",
-            f"{'experiment':26s} {'status':12s} {'wall_s':>8s} {'worker':>8s}"
-            f" {'tries':>5s}",
-            "-" * 64,
+            header,
+            "-" * (70 if sharded else 64),
         ]
         for record in self.records:
-            lines.append(
+            line = (
                 f"{record.experiment_id:26s} {record.status:12s} "
                 f"{record.wall_time_s:8.3f} {record.worker_pid:8d} "
                 f"{record.attempts:5d}"
-                + (f"  {record.error}" if record.error else "")
             )
-        lines.append("-" * 64)
+            if sharded:
+                shard = str(record.shard) if record.shard >= 0 else "-"
+                line += f" {shard:>5s}"
+            if record.error:
+                line += f"  {record.error}"
+            lines.append(line)
+        lines.append("-" * (70 if sharded else 64))
         lines.append(
             f"{len(self.records)} experiments: {self.n_hits} hits, "
             f"{self.n_misses} misses, {self.n_uncached} uncached, "
@@ -545,9 +571,16 @@ class ExecutionEngine:
         experiments isolated (one single-worker pool each) to attribute
         the crash; an experiment is quarantined once it has crashed
         ``crash_strikes`` isolated workers.
-    ``rng_seed``
-        Seeds the backoff jitter stream (via ``make_rng``) so sleep
-        schedules replay identically.
+    ``rng_seed`` / ``jitter_stream``
+        Seed the backoff jitter stream (via ``make_rng``) so sleep
+        schedules replay identically. ``jitter_stream`` names the
+        sub-stream (default ``"engine.backoff"``): engines that run
+        *concurrently* — one per shard worker group — must each use a
+        distinct stream (and ideally a distinct derived seed, see
+        :func:`repro.experiments.shard.derive_shard_seed`), otherwise
+        identical seeds produce identical jitter schedules and
+        concurrent shards synchronize their retry storms instead of
+        spreading them out.
     ``leak_threshold``
         Timed-out drivers leave their daemon thread computing (see
         :func:`leaked_thread_count`). Once a worker process holds this
@@ -577,6 +610,7 @@ class ExecutionEngine:
         rng_seed: Optional[int] = None,
         strict: bool = False,
         leak_threshold: int = 32,
+        jitter_stream: Optional[str] = None,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -596,7 +630,7 @@ class ExecutionEngine:
         self.backoff_cap_s = backoff_cap_s
         self.strict = strict
         self.leak_threshold = leak_threshold
-        self._backoff_rng = make_rng(rng_seed, stream="engine.backoff")
+        self._backoff_rng = make_rng(rng_seed, stream=jitter_stream or "engine.backoff")
 
     # -- scheduling ---------------------------------------------------------
 
@@ -862,14 +896,28 @@ class ExecutionEngine:
                     task = tasks[ready.popleft()]
                     task.attempts += 1
                     task.submitted_at = time.perf_counter()
-                    future = pool.submit(
-                        _execute,
-                        task.experiment_id,
-                        task.kwargs,
-                        task.timeout_s,
-                        self.strict,
-                        self.leak_threshold,
-                    )
+                    try:
+                        future = pool.submit(
+                            _execute,
+                            task.experiment_id,
+                            task.kwargs,
+                            task.timeout_s,
+                            self.strict,
+                            self.leak_threshold,
+                        )
+                    except BrokenProcessPool:
+                        # A crash landed between the last harvest and
+                        # this submit, so the break surfaces here rather
+                        # than at future.result(). This task never ran —
+                        # put it back — and recover the in-flight set
+                        # exactly as the harvest path would.
+                        task.attempts -= 1
+                        ready.appendleft(task.experiment_id)
+                        pool = self._recover_broken_pool(
+                            pool, futures, tasks, order, ready, deferred,
+                            results, manifest,
+                        )
+                        continue
                     futures[future] = task.experiment_id
                 if not futures:
                     # Everything is waiting out a backoff window.
@@ -911,24 +959,46 @@ class ExecutionEngine:
                     else:
                         self._finish(task, payload, results, manifest)
                 if broken:
-                    # The pool is dead; every submitted-but-unharvested
-                    # experiment is a crash candidate.
-                    broken.extend(futures.values())
-                    futures.clear()
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    broken.sort(key=lambda eid: order[eid])
-                    _LOG.warning(
-                        "worker crash broke the pool; re-running %d in-flight "
-                        "experiment(s) isolated: %s",
-                        len(broken),
-                        ", ".join(broken),
-                    )
-                    self._recover_crashed(broken, tasks, results, manifest)
-                    pool = self._new_pool(
-                        max(1, len(ready) + len(deferred))
+                    pool = self._recover_broken_pool(
+                        pool, futures, tasks, order, ready, deferred,
+                        results, manifest, crashed=broken,
                     )
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def _recover_broken_pool(
+        self,
+        pool,
+        futures: Dict,
+        tasks: Dict[str, "_Task"],
+        order: Dict[str, int],
+        ready: Deque[str],
+        deferred: List[Tuple[float, str]],
+        results: Dict[str, ExperimentResult],
+        manifest: RunManifest,
+        crashed: Sequence[str] = (),
+    ):
+        """Shut a broken pool down, re-run the in-flight set isolated,
+        and hand back a fresh pool sized for the remaining work.
+
+        Every submitted-but-unharvested experiment is a crash candidate
+        (``crashed`` seeds the list with the ones whose futures already
+        reported the break).
+        """
+        candidates = list(crashed)
+        candidates.extend(futures.values())
+        futures.clear()
+        pool.shutdown(wait=True, cancel_futures=True)
+        if candidates:
+            candidates.sort(key=lambda eid: order[eid])
+            _LOG.warning(
+                "worker crash broke the pool; re-running %d in-flight "
+                "experiment(s) isolated: %s",
+                len(candidates),
+                ", ".join(candidates),
+            )
+            self._recover_crashed(candidates, tasks, results, manifest)
+        return self._new_pool(max(1, len(ready) + len(deferred)))
 
     def _run_isolated(self, task: _Task) -> Tuple[Optional[Dict], bool]:
         """One execution in a fresh single-worker pool.

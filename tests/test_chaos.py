@@ -347,3 +347,38 @@ class TestKeepGoingAndResume:
         # The write-corrupted entry was detected while resuming and
         # quarantined rather than served.
         assert ResultCache(tmp_path / "cache").quarantined_count() == 1
+
+
+class TestCliResumeAfterQuarantine:
+    def test_cli_resume_after_keep_going_quarantine(self, capsys, tmp_path):
+        """A --keep-going run whose record set ends with a quarantined
+        experiment must be resumable from the CLI: once the fault plan
+        is gone, --resume re-runs only the quarantined loser."""
+        from repro.experiments.cli import main
+
+        faults.install(
+            FaultPlan(
+                specs=(FaultSpec("driver.fig20", faults.KILL),),  # unlimited
+                seed=5,
+                ledger_dir=str(tmp_path / "ledger"),
+            )
+        )
+        cache_flags = ["--cache-dir", str(tmp_path / "c")]
+        rc = main(
+            ["run", "fig20", "table1", "--jobs", "2", "--keep-going"]
+            + cache_flags
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.err
+        assert "forwarding_wire_8wide" in captured.out  # table1 salvaged
+
+        faults.clear()
+        rc = main(["run", "fig20", "table1", "--jobs", "2", "--resume"]
+                  + cache_flags)
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["stats"] + cache_flags) == 0
+        out = capsys.readouterr().out
+        assert "skipped 1" in out  # table1 kept; fig20 re-ran clean
+        assert "quarantined 0" in out

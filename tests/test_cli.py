@@ -105,3 +105,80 @@ class TestFaultToleranceFlags:
             main(["run", "fig20", "--retries", "-1"])
         with pytest.raises(SystemExit):
             main(["run", "fig20", "--timeout", "-2"])
+
+
+class TestShardFlags:
+    def test_run_with_shards_writes_sharded_manifest(self, capsys, tmp_path):
+        cache_flags = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["run", "fig20", "table1", "--shards", "2"] + cache_flags) == 0
+        capsys.readouterr()
+        assert main(["stats"] + cache_flags) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "shard" in out
+
+    def test_sharded_resume_skips_completed(self, capsys, tmp_path):
+        cache_flags = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["run", "fig20", "table1", "--shards", "2"] + cache_flags) == 0
+        assert (
+            main(["run", "fig20", "table1", "--shards", "2", "--resume"]
+                 + cache_flags)
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats"] + cache_flags) == 0
+        assert "skipped 2" in capsys.readouterr().out
+
+    def test_rejects_negative_shards(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig20", "--shards", "-1"])
+        with pytest.raises(SystemExit):
+            main(["run", "fig20", "--shard-timeout-s", "-2"])
+
+
+class TestResumeAfterFailures:
+    def test_resume_after_keep_going_timeout_reruns_only_the_loser(
+        self, capsys, tmp_path
+    ):
+        """A --keep-going run that ends with a timeout record must be
+        resumable: the timed-out experiment re-runs, the completed one
+        is skipped."""
+        import time as _time
+
+        from repro.experiments.registry import _SPECS, experiment
+
+        flag = tmp_path / "be-slow"
+        flag.write_text("1")
+
+        @experiment("_cli_resume_tmo")
+        def _sleeper():
+            if flag.exists():
+                _time.sleep(5.0)
+            from repro.experiments.base import ExperimentResult
+
+            result = ExperimentResult("_cli_resume_tmo", "slow probe", ("x",))
+            result.add_row(1.0)
+            return result
+
+        cache_flags = ["--cache-dir", str(tmp_path / "c")]
+        try:
+            rc = main(
+                ["run", "_cli_resume_tmo", "fig20", "--timeout", "0.3",
+                 "--keep-going"] + cache_flags
+            )
+            assert rc == 1
+            err = capsys.readouterr().err
+            assert "timeout" in err
+
+            flag.unlink()  # the flake clears; the resume must finish the job
+            rc = main(
+                ["run", "_cli_resume_tmo", "fig20", "--resume"] + cache_flags
+            )
+            assert rc == 0
+            capsys.readouterr()
+            assert main(["stats"] + cache_flags) == 0
+            out = capsys.readouterr().out
+            assert "skipped 1" in out  # fig20 kept, the loser re-ran
+            assert "timeouts 0" in out
+        finally:
+            _SPECS.pop("_cli_resume_tmo", None)

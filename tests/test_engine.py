@@ -613,3 +613,33 @@ class TestLeakedThreadTracking:
         assert manifest.to_dict()["totals"]["leaked_threads"] == 5
         revived = RunRecord.from_dict(manifest.records[1].to_dict())
         assert revived.leaked_threads == 3
+
+
+class TestBackoffJitterStreams:
+    """Concurrent shard engines must not share a retry-jitter stream."""
+
+    @staticmethod
+    def _schedule(engine, n=8):
+        return [engine._backoff_s(i) for i in range(1, n + 1)]
+
+    def test_same_seed_same_stream_replays_identically(self):
+        a = ExecutionEngine(jobs=1, rng_seed=42)
+        b = ExecutionEngine(jobs=1, rng_seed=42)
+        assert self._schedule(a) == self._schedule(b)
+
+    def test_distinct_streams_decorrelate_same_seed_engines(self):
+        a = ExecutionEngine(jobs=1, rng_seed=42, jitter_stream="engine.backoff.shard0")
+        b = ExecutionEngine(jobs=1, rng_seed=42, jitter_stream="engine.backoff.shard1")
+        assert self._schedule(a) != self._schedule(b)
+
+    def test_derived_shard_seeds_decorrelate_default_stream(self):
+        from repro.experiments.shard import derive_shard_seed
+
+        a = ExecutionEngine(jobs=1, rng_seed=derive_shard_seed(42, 0))
+        b = ExecutionEngine(jobs=1, rng_seed=derive_shard_seed(42, 1))
+        assert self._schedule(a) != self._schedule(b)
+
+    def test_shard_stream_is_deterministic(self):
+        a = ExecutionEngine(jobs=1, rng_seed=7, jitter_stream="engine.backoff.shard3")
+        b = ExecutionEngine(jobs=1, rng_seed=7, jitter_stream="engine.backoff.shard3")
+        assert self._schedule(a) == self._schedule(b)

@@ -1,0 +1,502 @@
+"""Sharded sweep orchestration (:mod:`repro.experiments.shard`).
+
+The fast half exercises the deterministic machinery — partition,
+derived jitter seeds, manifest round-trips, merge equivalence against
+an unsharded run, resume tolerance of unreadable manifests. The
+``chaos``-marked half injects seeded faults at the shard sites
+(``shard.group.kill.<k>``, ``shard.heartbeat.<k>``,
+``shard.manifest.write.<k>``) and proves each recovery path: dead-shard
+requeue, requeue-budget quarantine, heartbeat declaration with
+late-result discard, checkpoint loss tolerance, and cross-shard resume
+from surviving manifests only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.engine import (
+    COMPLETED_STATUSES,
+    ERROR,
+    QUARANTINED,
+    SKIPPED,
+    ExecutionEngine,
+    ExperimentExecutionError,
+)
+from repro.experiments.registry import _SPECS, experiment
+from repro.experiments.shard import (
+    DEAD,
+    DONE,
+    ShardCoordinator,
+    ShardManifest,
+    assign_shards,
+    derive_shard_seed,
+    read_shard_manifests,
+    shard_of,
+)
+from repro.util import faults
+from repro.util.faults import FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _register(experiment_id, value=1.0, sleep_s=0.0):
+    """Register a tiny synthetic experiment; returns its cleanup."""
+
+    @experiment(experiment_id)
+    def _driver():
+        if sleep_s:
+            time.sleep(sleep_s)
+        result = ExperimentResult(experiment_id, f"synthetic {experiment_id}", ("x",))
+        result.add_row(value)
+        return result
+
+    return lambda: _SPECS.pop(experiment_id, None)
+
+
+def _ids_on_shard(prefix, shard_index, n_shards, count):
+    """``count`` experiment-id names that hash onto ``shard_index``."""
+    found, i = [], 0
+    while len(found) < count:
+        candidate = f"{prefix}{i}"
+        if shard_of(candidate, None, n_shards) == shard_index:
+            found.append(candidate)
+        i += 1
+    return found
+
+
+@pytest.fixture
+def synth():
+    """Register synthetic experiments on demand; auto-clean afterwards."""
+    cleanups = []
+
+    def factory(experiment_id, **kwargs):
+        cleanups.append(_register(experiment_id, **kwargs))
+        return experiment_id
+
+    yield factory
+    for cleanup in cleanups:
+        cleanup()
+
+
+def _coord(tmp_path, n_shards=2, **kwargs):
+    kwargs.setdefault("backoff_base_s", 0.01)
+    kwargs.setdefault("backoff_cap_s", 0.05)
+    kwargs.setdefault("poll_interval_s", 0.01)
+    return ShardCoordinator(n_shards, cache_dir=tmp_path / "cache", **kwargs)
+
+
+def _by_id(outcome):
+    return {r.experiment_id: r for r in outcome.manifest.records}
+
+
+class TestPartition:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        for n in (1, 2, 3, 7):
+            for eid in ("fig20", "table1", "fig23"):
+                first = shard_of(eid, {"a": 1}, n)
+                assert first == shard_of(eid, {"a": 1}, n)
+                assert 0 <= first < n
+
+    def test_shard_of_depends_on_kwargs(self):
+        hits = [
+            shard_of("fig20", {"i": i}, 5) for i in range(64)
+        ]
+        assert len(set(hits)) > 1  # kwargs move items between shards
+
+    def test_shard_of_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            shard_of("fig20", None, 0)
+
+    def test_assign_shards_partitions_everything_exactly_once(self):
+        ids = [f"e{i}" for i in range(40)]
+        assigned = assign_shards(ids, None, 4)
+        merged = [eid for shard in assigned.values() for eid in shard]
+        assert sorted(merged) == sorted(ids)
+        assert set(assigned) == {0, 1, 2, 3}
+
+    def test_derived_seeds_are_distinct_and_stable(self):
+        seeds = [derive_shard_seed(1234, k) for k in range(16)]
+        assert len(set(seeds)) == 16
+        assert seeds == [derive_shard_seed(1234, k) for k in range(16)]
+        assert derive_shard_seed(None, 0) != derive_shard_seed(None, 1)
+        assert derive_shard_seed(None, 3) != derive_shard_seed(1234, 3)
+
+
+class TestShardManifest:
+    def test_round_trips_through_disk(self, tmp_path):
+        manifest = ShardManifest(
+            shard_index=1,
+            n_shards=3,
+            run_key="abc123",
+            state=DONE,
+            assigned=["a", "b"],
+            beats=7,
+            stolen_in=["c"],
+        )
+        path = tmp_path / "shards" / "shard-1.json"
+        manifest.save(path)
+        loaded = ShardManifest.load(path)
+        assert loaded.shard_index == 1
+        assert loaded.state == DONE
+        assert loaded.assigned == ["a", "b"]
+        assert loaded.beats == 7
+        assert loaded.stolen_in == ["c"]
+
+    def test_reader_tolerates_corrupt_manifests(self, tmp_path):
+        shards = tmp_path / "shards"
+        shards.mkdir()
+        ShardManifest(shard_index=0, n_shards=2, run_key="k").save(
+            shards / "shard-0.json"
+        )
+        (shards / "shard-1.json").write_text("{truncated garba")
+        manifests, unreadable = read_shard_manifests(shards)
+        assert [m.shard_index for m in manifests] == [0]
+        assert unreadable == 1
+
+    def test_reader_handles_missing_directory(self, tmp_path):
+        manifests, unreadable = read_shard_manifests(tmp_path / "nope")
+        assert manifests == [] and unreadable == 0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardCoordinator(0, cache_dir=tmp_path)
+        with pytest.raises(ValueError):
+            ShardCoordinator(2, jobs_per_shard=0, cache_dir=tmp_path)
+        with pytest.raises(ValueError):
+            ShardCoordinator(2, max_requeues=-1, cache_dir=tmp_path)
+        with pytest.raises(ValueError):
+            ShardCoordinator(2, straggler_factor=0.5, cache_dir=tmp_path)
+
+    def test_unknown_experiment_fails_fast(self, tmp_path):
+        coord = _coord(tmp_path)
+        with pytest.raises(KeyError):
+            coord.run(["definitely_not_registered"])
+
+
+class TestEquivalence:
+    def test_sharded_matches_unsharded_run(self, tmp_path, synth):
+        ids = [synth(f"_sh_eq{i}", value=float(i)) for i in range(6)]
+
+        sharded = _coord(tmp_path / "a", n_shards=3).run(ids)
+        reference = ExecutionEngine(cache_dir=tmp_path / "b" / "cache").run(ids)
+
+        assert set(sharded.results) == set(reference.results) == set(ids)
+        for eid in ids:
+            assert (
+                sharded.results[eid].to_dict() == reference.results[eid].to_dict()
+            )
+        sharded_totals = sharded.manifest.to_dict()["totals"]
+        reference_totals = reference.manifest.to_dict()["totals"]
+        sharded_totals.pop("compute_s")
+        reference_totals.pop("compute_s")
+        assert sharded_totals == reference_totals
+
+    def test_records_are_shard_tagged_and_schedule_ordered(self, tmp_path, synth):
+        ids = [synth(f"_sh_tag{i}") for i in range(5)]
+        outcome = _coord(tmp_path, n_shards=2).run(ids)
+        assert outcome.manifest.shards == 2
+        assert [r.experiment_id for r in outcome.manifest.records] == (
+            ExecutionEngine.schedule(ids)
+        )
+        for record in outcome.manifest.records:
+            assert record.shard == shard_of(record.experiment_id, {}, 2)
+
+    def test_merged_manifest_renders_shard_column(self, tmp_path, synth):
+        ids = [synth(f"_sh_sum{i}") for i in range(3)]
+        outcome = _coord(tmp_path, n_shards=2).run(ids)
+        summary = outcome.manifest.summary()
+        assert "shard" in summary
+        assert "shards=2" in summary
+
+    def test_single_shard_degenerates_gracefully(self, tmp_path, synth):
+        ids = [synth(f"_sh_one{i}") for i in range(3)]
+        outcome = _coord(tmp_path, n_shards=1).run(ids)
+        assert {r.status for r in outcome.manifest.records} <= set(
+            COMPLETED_STATUSES
+        )
+
+    def test_failures_raise_without_keep_going(self, tmp_path, synth):
+        good = synth("_sh_fail_good")
+
+        @experiment("_sh_fail_bad")
+        def _bad():
+            raise RuntimeError("boom")
+
+        try:
+            with pytest.raises(ExperimentExecutionError) as excinfo:
+                _coord(tmp_path, n_shards=2).run([good, "_sh_fail_bad"])
+            outcome = excinfo.value.outcome
+            assert outcome is not None
+            assert good in outcome.results
+        finally:
+            _SPECS.pop("_sh_fail_bad", None)
+
+
+class TestResume:
+    def test_resume_skips_completed_from_shard_manifests(self, tmp_path, synth):
+        ids = [synth(f"_sh_res{i}") for i in range(4)]
+        coord = _coord(tmp_path, n_shards=2)
+        coord.run(ids)
+        second = _coord(tmp_path, n_shards=2).run(ids, resume=True)
+        assert all(r.status == SKIPPED for r in second.manifest.records)
+        assert set(second.results) == set(ids)  # results served from cache
+
+    def test_resume_reruns_items_of_unreadable_manifests(self, tmp_path, synth):
+        ids = [synth(f"_sh_res2_{i}") for i in range(6)]
+        coord = _coord(tmp_path, n_shards=2)
+        coord.run(ids)
+        # Mangle shard 0's manifest: its completions become unknowable.
+        shard0 = coord.shards_dir / "shard-0.json"
+        shard0.write_text("not json at all")
+        lost = {eid for eid in ids if shard_of(eid, None, 2) == 0}
+        second = _coord(
+            tmp_path, n_shards=2, use_cache=False
+        ).run(ids, resume=True)
+        by_id = _by_id(second)
+        for eid in ids:
+            if eid in lost:
+                assert by_id[eid].status != SKIPPED
+            else:
+                assert by_id[eid].status == SKIPPED
+
+    def test_resume_falls_back_to_engine_manifest(self, tmp_path, synth):
+        ids = [synth(f"_sh_res3_{i}") for i in range(3)]
+        ExecutionEngine(cache_dir=tmp_path / "cache").run(ids)
+        outcome = _coord(tmp_path, n_shards=2).run(ids, resume=True)
+        assert all(r.status == SKIPPED for r in outcome.manifest.records)
+
+
+class TestStealing:
+    def test_idle_shard_steals_from_straggler(self, tmp_path, synth):
+        # Shard 0 gets a pile of slow items, shard 1 a single fast one:
+        # with stealing on, shard 1 must take work off shard 0's tail.
+        slow_ids = [
+            synth(eid, sleep_s=0.08)
+            for eid in _ids_on_shard("_sh_steal_a", 0, 2, 6)
+        ]
+        fast_ids = [synth(_ids_on_shard("_sh_steal_b", 1, 2, 1)[0])]
+        coord = _coord(
+            tmp_path,
+            n_shards=2,
+            steal=True,
+            straggler_factor=1.0,
+            chunk_size=1,
+        )
+        outcome = coord.run(slow_ids + fast_ids)
+        assert coord.total_stolen >= 1
+        by_id = _by_id(outcome)
+        stolen = [
+            eid for eid in slow_ids if by_id[eid].shard == 1
+        ]
+        assert stolen  # at least one slow item ran on the thief
+        assert set(outcome.results) == set(slow_ids + fast_ids)
+
+    def test_stealing_is_bounded(self, tmp_path, synth):
+        slow_ids = [
+            synth(eid, sleep_s=0.05)
+            for eid in _ids_on_shard("_sh_cap_a", 0, 2, 8)
+        ]
+        fast_ids = [synth(_ids_on_shard("_sh_cap_b", 1, 2, 1)[0])]
+        coord = _coord(
+            tmp_path,
+            n_shards=2,
+            steal=True,
+            straggler_factor=1.0,
+            chunk_size=1,
+            max_steals_per_shard=1,
+        )
+        coord.run(slow_ids + fast_ids)
+        assert coord.total_stolen <= 1
+
+
+@pytest.mark.chaos
+class TestShardChaos:
+    def test_dead_shard_requeues_onto_survivors(self, tmp_path, synth):
+        ids = [synth(f"_sh_kill{i}", value=float(i)) for i in range(6)]
+        victim = shard_of(ids[0], None, 3)
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.group.kill.{victim}",
+                        faults.FATAL,
+                        max_fires=1,
+                    ),
+                ),
+                seed=7,
+            )
+        )
+        coord = _coord(tmp_path / "a", n_shards=3)
+        outcome = coord.run(ids)
+        faults.clear()
+
+        assert coord.total_requeued >= 1
+        by_id = _by_id(outcome)
+        assert set(by_id) == set(ids)
+        assert all(r.status in COMPLETED_STATUSES for r in by_id.values())
+        # Byte-identical results vs. a fault-free unsharded run.
+        reference = ExecutionEngine(cache_dir=tmp_path / "b" / "cache").run(ids)
+        for eid in ids:
+            assert (
+                outcome.results[eid].to_dict()
+                == reference.results[eid].to_dict()
+            )
+        manifests, unreadable = read_shard_manifests(coord.shards_dir)
+        assert unreadable == 0
+        states = {m.shard_index: m.state for m in manifests}
+        assert states[victim] == DEAD
+
+    def test_requeue_disabled_records_errors(self, tmp_path, synth):
+        ids = [synth(f"_sh_noreq{i}") for i in range(6)]
+        victim = shard_of(ids[0], None, 3)
+        lost = {eid for eid in ids if shard_of(eid, None, 3) == victim}
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.group.kill.{victim}", faults.FATAL, max_fires=1
+                    ),
+                ),
+                seed=3,
+            )
+        )
+        outcome = _coord(tmp_path, n_shards=3, requeue=False).run(
+            ids, keep_going=True
+        )
+        by_id = _by_id(outcome)
+        for eid in lost:
+            assert by_id[eid].status == ERROR
+            assert "died" in by_id[eid].error
+
+    def test_requeue_budget_quarantines_group_killers(self, tmp_path, synth):
+        ids = [synth(f"_sh_quar{i}") for i in range(4)]
+        victim = shard_of(ids[0], None, 2)
+        lost = {eid for eid in ids if shard_of(eid, None, 2) == victim}
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.group.kill.{victim}", faults.FATAL, max_fires=1
+                    ),
+                ),
+                seed=5,
+            )
+        )
+        outcome = _coord(tmp_path, n_shards=2, max_requeues=0).run(
+            ids, keep_going=True
+        )
+        by_id = _by_id(outcome)
+        for eid in lost:
+            assert by_id[eid].status == QUARANTINED
+            assert "dead shard" in by_id[eid].error
+
+    def test_heartbeat_timeout_declares_and_requeues(self, tmp_path, synth):
+        ids = [synth(f"_sh_hang{i}") for i in range(6)]
+        victim = shard_of(ids[0], None, 3)
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.heartbeat.{victim}",
+                        faults.HANG,
+                        max_fires=1,
+                        delay_s=1.2,
+                    ),
+                ),
+                seed=11,
+            )
+        )
+        coord = _coord(tmp_path, n_shards=3, heartbeat_timeout_s=0.2)
+        outcome = coord.run(ids)
+        by_id = _by_id(outcome)
+        # Exactly one record per item, everything completed, nothing lost
+        # and nothing double-counted despite the late wake-up.
+        assert sorted(by_id) == sorted(ids)
+        assert all(r.status in COMPLETED_STATUSES for r in by_id.values())
+
+    def test_lost_checkpoints_never_kill_the_run(self, tmp_path, synth):
+        ids = [synth(f"_sh_ckpt{i}") for i in range(4)]
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec("shard.manifest.write.*", faults.FATAL),
+                ),
+                seed=2,
+            )
+        )
+        coord = _coord(tmp_path, n_shards=2)
+        outcome = coord.run(ids)
+        assert all(
+            r.status in COMPLETED_STATUSES for r in outcome.manifest.records
+        )
+        # No checkpoint survived, and that's fine.
+        manifests, _ = read_shard_manifests(coord.shards_dir)
+        assert manifests == []
+
+    def test_corrupt_checkpoints_are_unreadable_not_fatal(self, tmp_path, synth):
+        ids = [synth(f"_sh_mang{i}") for i in range(4)]
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        "shard.manifest.write.*", faults.CORRUPT, probability=1.0
+                    ),
+                ),
+                seed=9,
+            )
+        )
+        coord = _coord(tmp_path, n_shards=2)
+        outcome = coord.run(ids)
+        faults.clear()
+        assert all(
+            r.status in COMPLETED_STATUSES for r in outcome.manifest.records
+        )
+        _, unreadable = read_shard_manifests(coord.shards_dir)
+        assert unreadable >= 1
+        # Resume survives the wreckage: unreadable manifests mean re-run,
+        # not a crash (the cache still serves the results as hits).
+        second = _coord(tmp_path, n_shards=2).run(ids, resume=True)
+        assert set(second.results) == set(ids)
+
+    def test_resume_from_surviving_manifests_reruns_only_lost(
+        self, tmp_path, synth
+    ):
+        ids = [synth(f"_sh_wreck{i}") for i in range(6)]
+        victim = shard_of(ids[0], None, 3)
+        lost = {eid for eid in ids if shard_of(eid, None, 3) == victim}
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.group.kill.{victim}", faults.FATAL, max_fires=1
+                    ),
+                ),
+                seed=13,
+            )
+        )
+        coord = _coord(tmp_path, n_shards=3, requeue=False)
+        coord.run(ids, keep_going=True)
+        faults.clear()
+        # The dead shard's manifest is gone with its machine.
+        (coord.shards_dir / f"shard-{victim}.json").unlink()
+
+        second = _coord(tmp_path, n_shards=3, use_cache=False)
+        outcome = second.run(ids, resume=True)
+        by_id = _by_id(outcome)
+        for eid in ids:
+            if eid in lost:
+                assert by_id[eid].status != SKIPPED  # re-ran
+            else:
+                assert by_id[eid].status == SKIPPED  # survivors' work kept

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Shard-orchestration smoke: chaos kill + sharded/unsharded equivalence.
+
+Two checks, both asserted against a fault-free unsharded reference run
+(fresh caches everywhere, so nothing is served from a previous stage):
+
+1. **Chaos requeue.** A seeded fault plan kills one of three worker
+   groups mid-sweep (``shard.group.kill.<k>``, where ``<k>`` is the
+   shard the first sweep item hashes to). The run must complete via
+   dead-shard requeue with every experiment result *byte-identical*
+   (canonical-JSON compare) to the reference, the merged manifest's
+   status totals equal to the reference's (wall-clock fields aside),
+   and a ``--resume`` from the surviving shard manifests alone must
+   re-run only the items the dead shard lost.
+2. **2-shard equivalence.** A plain 2-shard run of the same sweep also
+   matches the reference byte-for-byte.
+
+Usage: ``python tools/shard_smoke.py [--experiments id,id,...]`` —
+exits non-zero with a diagnostic on the first violated invariant. Run
+by CI next to the chaos suites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.engine import ExecutionEngine, SKIPPED
+from repro.experiments.shard import (
+    ShardCoordinator,
+    read_shard_manifests,
+    shard_of,
+)
+from repro.util import faults
+from repro.util.faults import FaultPlan, FaultSpec
+
+#: Fast, kwargs-free experiments that exercise distinct model stacks.
+DEFAULT_EXPERIMENTS = (
+    "fig20",
+    "table1",
+    "ablation_cryobus",
+    "ablation_exposure",
+    "ablation_interleaving",
+    "ablation_superpipeline",
+)
+
+
+def _fail(message: str) -> "None":
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _counting_totals(manifest) -> dict:
+    totals = manifest.to_dict()["totals"]
+    totals.pop("compute_s")  # wall clock legitimately differs
+    return totals
+
+
+def _check_results_identical(outcome, reference, label: str) -> None:
+    if set(outcome.results) != set(reference.results):
+        _fail(
+            f"{label}: result set mismatch "
+            f"({sorted(outcome.results)} != {sorted(reference.results)})"
+        )
+    for eid in reference.results:
+        if _canonical(outcome.results[eid]) != _canonical(reference.results[eid]):
+            _fail(f"{label}: result for {eid} is not byte-identical")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_EXPERIMENTS),
+        help="comma-separated experiment ids to sweep",
+    )
+    args = parser.parse_args(argv)
+    ids = [eid for eid in args.experiments.split(",") if eid]
+
+    workdir = Path(tempfile.mkdtemp(prefix="cryowire-shard-smoke-"))
+    try:
+        # Fault-free unsharded reference.
+        reference = ExecutionEngine(cache_dir=workdir / "ref").run(ids)
+        print(f"reference: {len(reference.results)} results")
+
+        # -- check 1: seeded kill of 1 of 3 groups, requeue completes --
+        victim = shard_of(ids[0], None, 3)
+        lost = sorted(eid for eid in ids if shard_of(eid, None, 3) == victim)
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.group.kill.{victim}", faults.FATAL, max_fires=1
+                    ),
+                ),
+                seed=7,
+            )
+        )
+        try:
+            chaos_coord = ShardCoordinator(3, cache_dir=workdir / "chaos")
+            chaos = chaos_coord.run(ids)
+        finally:
+            faults.clear()
+        if chaos_coord.total_requeued < 1:
+            _fail("chaos run killed a shard but requeued nothing")
+        _check_results_identical(chaos, reference, "chaos requeue")
+        if _counting_totals(chaos.manifest) != _counting_totals(
+            reference.manifest
+        ):
+            _fail(
+                "chaos totals diverge: "
+                f"{_counting_totals(chaos.manifest)} != "
+                f"{_counting_totals(reference.manifest)}"
+            )
+        print(
+            f"chaos requeue: shard {victim} killed, "
+            f"{chaos_coord.total_requeued} item(s) requeued, totals match"
+        )
+
+        # -- check 1b: resume from surviving shard manifests only --
+        # Same kill, but with requeue disabled the dead shard's items
+        # stay incomplete — then the resume (with the dead machine's
+        # manifest gone too) must re-run exactly those and nothing else.
+        faults.install(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        f"shard.group.kill.{victim}", faults.FATAL, max_fires=1
+                    ),
+                ),
+                seed=7,
+            )
+        )
+        try:
+            wreck_coord = ShardCoordinator(
+                3, cache_dir=workdir / "wreck", requeue=False
+            )
+            wreck_coord.run(ids, keep_going=True)
+        finally:
+            faults.clear()
+        _, unreadable = read_shard_manifests(wreck_coord.shards_dir)
+        if unreadable:
+            _fail(f"{unreadable} unreadable shard manifest(s) after wreck run")
+        (wreck_coord.shards_dir / f"shard-{victim}.json").unlink()
+        resumed = ShardCoordinator(
+            3, cache_dir=workdir / "wreck", use_cache=False
+        ).run(ids, resume=True)
+        rerun = sorted(
+            r.experiment_id
+            for r in resumed.manifest.records
+            if r.status != SKIPPED
+        )
+        if rerun != lost:
+            _fail(f"resume re-ran {rerun}, expected exactly the lost {lost}")
+        for eid in rerun:  # the re-run results themselves must match too
+            if _canonical(resumed.results[eid]) != _canonical(
+                reference.results[eid]
+            ):
+                _fail(f"resume: re-run result for {eid} is not byte-identical")
+        print(f"resume: re-ran only the lost {rerun}")
+
+        # -- check 2: plain 2-shard equivalence --
+        sharded = ShardCoordinator(2, cache_dir=workdir / "eq").run(ids)
+        _check_results_identical(sharded, reference, "2-shard equivalence")
+        if _counting_totals(sharded.manifest) != _counting_totals(
+            reference.manifest
+        ):
+            _fail("2-shard totals diverge from the unsharded reference")
+        if sharded.manifest.shards != 2:
+            _fail("2-shard manifest does not record shards=2")
+        print("2-shard equivalence: results byte-identical, totals match")
+
+        print("shard smoke OK")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
